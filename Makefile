@@ -1,0 +1,17 @@
+# Convenience targets for the Quartz reproduction.
+
+.PHONY: install test bench examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+all: install test bench

@@ -1,0 +1,201 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four studies, each isolating one decision the paper makes:
+
+1. **Greedy path ordering** (Section 3.1.1): the paper assigns longest
+   paths first "to avoid fragmenting the available channels".  Compared
+   against shortest-first and random orderings.
+2. **Cut-through switching** (Section 2.1.3): the mesh's latency with
+   ULL cut-through vs CCS store-and-forward hardware — the rationale
+   for building Quartz from cut-through parts.
+3. **VLB direct fraction** (Section 3.4): latency of the pathological
+   pattern at 50 Gb/s across the k spectrum — too-direct saturates,
+   too-indirect wastes latency; the adaptive choice sits at the flat
+   bottom.
+4. **Multi-ring channel placement** (Section 3.5): wavelength-striped
+   vs load-balanced placement of channels onto two parallel fibre
+   rings, scored on partition probability under four cuts.
+"""
+
+import statistics
+
+from repro.core.channels import greedy_assignment
+from repro.core.fault import RingFaultModel
+from repro.core.multiring import plan_rings
+from repro.experiments.pathological import quartz_core_testbed
+from repro.routing import VLBRouter
+from repro.sim import Network, PoissonSource
+from repro.units import GBPS, usec
+import repro.topology as T
+from repro.routing import ECMPRouter
+
+
+def bench_ablation_greedy_ordering(benchmark, report):
+    orders = ("longest-first", "shortest-first", "random")
+
+    def run():
+        out = {}
+        for order in orders:
+            counts = [
+                greedy_assignment(33, seed=s, order=order).num_channels
+                for s in range(5)
+            ]
+            out[order] = counts
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: greedy path ordering (wavelengths for a 33-ring, 5 seeds)",
+        f"{'ordering':<16}{'mean':>8}{'min':>6}{'max':>6}",
+        "-" * 36,
+    ]
+    for order, counts in results.items():
+        lines.append(
+            f"{order:<16}{statistics.fmean(counts):>8.1f}"
+            f"{min(counts):>6}{max(counts):>6}"
+        )
+    report("ablation_greedy_ordering", "\n".join(lines))
+
+    # The paper's longest-first choice dominates both alternatives.
+    assert statistics.fmean(results["longest-first"]) < statistics.fmean(
+        results["shortest-first"]
+    )
+    assert statistics.fmean(results["longest-first"]) <= statistics.fmean(
+        results["random"]
+    )
+
+
+def bench_ablation_cut_through(benchmark, report):
+    def run():
+        out = {}
+        for model in ("ULL", "CCS"):
+            topo = T.full_mesh(8, 2, switch_model=model)
+            net = Network(topo, ECMPRouter(topo))
+            source = PoissonSource.at_bandwidth(
+                net, "h0.0", "h5.0", 1 * GBPS, group="probe", seed=1
+            )
+            source.start()
+            net.run(until=0.005)
+            out[model] = net.stats.summary("probe").mean
+        return out
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: switch hardware in the mesh (uncongested, 2 hops)",
+        f"{'model':<8}{'mean latency (us)':>19}",
+        "-" * 27,
+    ]
+    for model, mean in means.items():
+        lines.append(f"{model:<8}{usec(mean):>19.2f}")
+    report("ablation_cut_through", "\n".join(lines))
+
+    # Cut-through removes the 6 µs per store-and-forward hop: with two
+    # mesh hops the gap is >10 µs.
+    assert means["CCS"] - means["ULL"] > 10e-6
+
+
+def bench_ablation_vlb_fraction(benchmark, report):
+    fractions = (0.1, 0.25, 0.5, 0.72, 0.9, 1.0)
+    offered = 50 * GBPS
+
+    def run():
+        out = {}
+        for k in fractions:
+            topo = quartz_core_testbed()
+            net = Network(topo, VLBRouter(topo, direct_fraction=k))
+            senders = topo.servers_in_rack(0)
+            receivers = topo.servers_in_rack(1)
+            per_flow = offered / len(senders)
+            for i, (src, dst) in enumerate(zip(senders, receivers)):
+                PoissonSource.at_bandwidth(
+                    net, src, dst, per_flow, group="p", flow_id=i, seed=i,
+                    vary_flow_per_packet=True,
+                ).start()
+            net.run(until=0.003)
+            out[k] = net.stats.summary("p").mean
+        return out
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: VLB direct fraction k at 50 Gb/s rack-to-rack "
+        "(40 G channel)",
+        f"{'k':>6}{'mean latency (us)':>19}",
+        "-" * 25,
+    ]
+    for k, mean in means.items():
+        lines.append(f"{k:>6.2f}{usec(mean):>19.2f}")
+    report("ablation_vlb_fraction", "\n".join(lines))
+
+    # k = 1 (pure ECMP) saturates the direct channel: latency explodes.
+    assert means[1.0] > 20 * means[0.72]
+    # The adaptive operating point (0.9 × 40/50 = 0.72) is within 2× of
+    # the best k in the sweep.
+    best = min(means.values())
+    assert means[0.72] <= 2 * best
+
+
+def bench_ablation_ring_placement(benchmark, report):
+    def run():
+        base = greedy_assignment(33)
+        striped = RingFaultModel(33, 2, base)
+        balanced = RingFaultModel(
+            33, multi_plan=plan_rings(33, num_rings=2, base_plan=base)
+        )
+        out = {}
+        for name, model in (("striped", striped), ("balanced", balanced)):
+            stats = model.simulate(4, trials=1500, seed=5)
+            out[name] = (stats.bandwidth_loss, stats.partition_probability)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: channel→ring placement, 2 rings, 4 fibre cuts",
+        f"{'placement':<12}{'bandwidth loss':>16}{'P(partition)':>14}",
+        "-" * 42,
+    ]
+    for name, (loss, part) in results.items():
+        lines.append(f"{name:<12}{loss:>16.3f}{part:>14.4f}")
+    report("ablation_ring_placement", "\n".join(lines))
+
+    # Balanced placement never partitions materially more often.
+    assert results["balanced"][1] <= results["striped"][1] + 0.005
+
+
+def bench_ablation_ring_size_invariance(benchmark, report):
+    """Paper Section 7: "the size of the ring does not affect performance
+    and only affects the size of the DCN"."""
+
+    def run():
+        out = {}
+        for size in (4, 8, 16):
+            topo = T.full_mesh(size, 2)
+            net = Network(topo, ECMPRouter(topo))
+            # Fixed per-rack load: each rack's first server streams to a
+            # server three racks away.
+            for rack in range(size):
+                PoissonSource.at_bandwidth(
+                    net,
+                    f"h{rack}.0",
+                    f"h{(rack + 3) % size}.1",
+                    1 * GBPS,
+                    group="probe",
+                    flow_id=rack,
+                    seed=rack,
+                ).start()
+            net.run(until=0.005)
+            out[size] = net.stats.summary("probe").mean
+        return out
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: mesh latency vs ring size (fixed per-rack load)",
+        f"{'switches':>9}{'mean latency (us)':>19}",
+        "-" * 28,
+    ]
+    for size, mean in means.items():
+        lines.append(f"{size:>9}{usec(mean):>19.3f}")
+    report("ablation_ring_size", "\n".join(lines))
+
+    # Latency varies by under 5 % across ring sizes.
+    values = list(means.values())
+    assert max(values) / min(values) < 1.05

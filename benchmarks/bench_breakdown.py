@@ -1,0 +1,32 @@
+"""Appendix: component decomposition of the Figure 17 latencies.
+
+Not a figure of the paper, but the *explanation* of one: attributes each
+architecture's cross-rack packet latency to serialization / switching /
+queueing / propagation, confirming that the three-tier tree's budget is
+dominated by the CCS core's 6 µs store-and-forward hop — "most of this
+latency is from the high-latency core switch" (Section 7.1) — and that
+every Quartz replacement removes exactly that term.
+"""
+
+from repro.experiments.breakdown import breakdown_table, format_breakdown_table
+
+
+def bench_latency_decomposition(benchmark, report):
+    table = benchmark.pedantic(breakdown_table, rounds=1, iterations=1)
+    report("breakdown", format_breakdown_table(table))
+
+    tree = table["three-tier tree"]
+    core_free = table["quartz in edge and core"]
+    # The tree's switching term includes the 6 µs CCS hop...
+    assert tree.switching > 6e-6
+    # ...and dominates its total.
+    assert tree.switching > 0.6 * tree.total
+    # The all-cut-through build has sub-2 µs switching.
+    assert core_free.switching < 2e-6
+    # The switching delta explains most of the end-to-end gap.
+    gap = tree.total - core_free.total
+    switching_gap = tree.switching - core_free.switching
+    assert switching_gap > 0.7 * gap
+    # Light probes queue negligibly everywhere.
+    for breakdown in table.values():
+        assert breakdown.queueing < 0.2 * breakdown.total

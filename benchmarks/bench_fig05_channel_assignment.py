@@ -1,0 +1,50 @@
+"""Figure 5: wavelengths required vs ring size — greedy vs ILP optimum.
+
+Regenerates the paper's two series: the greedy heuristic across ring
+sizes up to past the 160-channel fibre limit, and the exact ILP optimum
+for small rings.  Asserts the paper's headline facts: greedy tracks the
+optimum closely, and 160 channels cap the ring at 35 switches.
+"""
+
+from repro.core import channels as ch
+
+
+def bench_fig05_greedy_series(benchmark, report):
+    sizes = list(range(2, 41))
+
+    def run() -> dict[int, int]:
+        ch.wavelengths_required.cache_clear()
+        return {m: ch.greedy_assignment(m).num_channels for m in sizes}
+
+    greedy = benchmark(run)
+    ilp = {m: ch.ilp_assignment(m).num_channels for m in range(2, 10)}
+    bounds = {m: ch.lower_bound(m) for m in sizes}
+
+    lines = [
+        "Figure 5: wavelengths required vs ring size",
+        f"{'ring size':>10}{'greedy':>10}{'ILP opt':>10}{'bound':>10}",
+        "-" * 40,
+    ]
+    for m in sizes:
+        ilp_cell = f"{ilp[m]:>10}" if m in ilp else f"{'':>10}"
+        lines.append(f"{m:>10}{greedy[m]:>10}{ilp_cell}{bounds[m]:>10}")
+    max_ring = ch.max_ring_size(ch.FIBER_CHANNEL_LIMIT)
+    lines.append(f"max ring size within {ch.FIBER_CHANNEL_LIMIT} channels: {max_ring}")
+    report("fig05_channel_assignment", "\n".join(lines))
+
+    # Paper facts: greedy ≈ optimal; 35-switch maximum; 33 needs ~137.
+    for m, optimal in ilp.items():
+        assert greedy[m] <= optimal + 2
+    assert max_ring == 35
+    assert 136 <= greedy[33] <= 140
+    # Greedy never beats the link-load bound.
+    for m in sizes:
+        assert greedy[m] >= bounds[m]
+
+
+def bench_fig05_ilp_small_ring(benchmark):
+    # The paper solves the ILP exactly for small rings; HiGHS does an
+    # 8-switch ring in well under a second.
+    plan = benchmark(ch.ilp_assignment, 8)
+    plan.validate()
+    assert plan.num_channels == ch.ilp_assignment(8).num_channels

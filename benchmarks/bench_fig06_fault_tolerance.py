@@ -1,0 +1,57 @@
+"""Figure 6: bandwidth loss and partition probability under fibre failures.
+
+Monte-Carlo over random fibre-segment failures on a 33-switch Quartz
+element with one to four parallel physical rings.  Asserts the paper's
+headline numbers: a single-ring failure costs ~20–26 % of the direct
+channels, four rings cut that to ~6 %, and with two rings even four
+simultaneous failures partition the network with probability well under
+one percent-ish (paper: 0.0024).
+"""
+
+from repro.core.channels import greedy_assignment
+from repro.core.fault import RingFaultModel
+
+
+def bench_fig06_failure_grid(benchmark, report):
+    plan = greedy_assignment(33)
+
+    def run():
+        grid = {}
+        for rings in (1, 2, 3, 4):
+            model = RingFaultModel(33, rings, plan)
+            for failures in (1, 2, 3, 4):
+                grid[(rings, failures)] = model.simulate(
+                    failures, trials=400, seed=11
+                )
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 6 (top): fraction of aggregate bandwidth lost"]
+    label = "rings / failures"
+    header = f"{label:>16}" + "".join(f"{f:>8}" for f in (1, 2, 3, 4))
+    lines += [header, "-" * len(header)]
+    for rings in (1, 2, 3, 4):
+        row = f"{rings:>16}" + "".join(
+            f"{grid[(rings, f)].bandwidth_loss:>8.3f}" for f in (1, 2, 3, 4)
+        )
+        lines.append(row)
+    lines.append("")
+    lines.append("Figure 6 (bottom): probability of network partition")
+    lines += [header, "-" * len(header)]
+    for rings in (1, 2, 3, 4):
+        row = f"{rings:>16}" + "".join(
+            f"{grid[(rings, f)].partition_probability:>8.4f}" for f in (1, 2, 3, 4)
+        )
+        lines.append(row)
+    report("fig06_fault_tolerance", "\n".join(lines))
+
+    # Paper reference points.
+    assert 0.15 <= grid[(1, 1)].bandwidth_loss <= 0.35  # ~20 % quoted
+    assert 0.03 <= grid[(4, 1)].bandwidth_loss <= 0.10  # ~6 % quoted
+    assert grid[(1, 2)].partition_probability >= 0.9  # two cuts split one ring
+    assert grid[(2, 4)].partition_probability < 0.03  # 0.0024 quoted
+    # Monotonicity: more rings, less loss.
+    for failures in (1, 2, 3, 4):
+        losses = [grid[(r, failures)].bandwidth_loss for r in (1, 2, 3, 4)]
+        assert losses == sorted(losses, reverse=True)

@@ -1,0 +1,91 @@
+"""Figure 17: average packet latency, global traffic patterns.
+
+Scatter (a), gather (b), and scatter/gather (c) tasks with randomly
+placed participants across five architectures.  Asserts the paper's
+findings: the three-tier tree is the slowest (its core switch dominates);
+Quartz in the core removes >3 µs; Quartz in the edge beats the tree via
+intra-ring paths; Quartz in edge+core roughly halves latency; Jellyfish
+is fast on global patterns; and latency never *decreases* as tasks are
+added.
+"""
+
+from repro.experiments import figure17_sweep, format_sweep
+from repro.textplot import line_chart, sweep_to_series
+
+
+def _render(series, title):
+    table = format_sweep(series, title)
+    chart = line_chart(
+        sweep_to_series(series), title="", x_label="tasks", y_label="us/packet"
+    )
+    return f"{table}\n\n{chart}"
+
+TOPOLOGIES = [
+    "three-tier tree",
+    "jellyfish",
+    "quartz in core",
+    "quartz in edge",
+    "quartz in edge and core",
+]
+
+
+def _final_means(series):
+    return {topo: points[-1].mean_latency for topo, points in series.items()}
+
+
+def _first_means(series):
+    return {topo: points[0].mean_latency for topo, points in series.items()}
+
+
+def _assert_paper_shape(series):
+    first = _first_means(series)
+    final = _final_means(series)
+    tree = "three-tier tree"
+    # The tree is the slowest architecture at every task count.
+    for topology in TOPOLOGIES:
+        if topology != tree:
+            assert final[topology] < final[tree]
+    # "More than a three microsecond reduction in latency by replacing
+    # the core switches in a three-tier tree with Quartz rings."
+    assert first[tree] - first["quartz in core"] > 3e-6
+    # "Using Quartz in the edge reduces the absolute latency compared to
+    # the three-tier tree even with only one task."
+    assert first["quartz in edge"] < first[tree]
+    # "Using Quartz in both the edge and core reduces latency by nearly
+    # half compared to the three-tier tree."
+    assert final["quartz in edge and core"] <= 0.65 * final[tree]
+    # Latency is non-decreasing in the number of tasks (within 5 % noise).
+    for points in series.values():
+        means = [p.mean_latency for p in points]
+        for before, after in zip(means, means[1:]):
+            assert after >= before * 0.95
+
+
+def bench_fig17a_scatter(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure17_sweep(TOPOLOGIES, "scatter", [1, 2, 4, 8]),
+        rounds=1, iterations=1,
+    )
+    report("fig17a_scatter", _render(series, "Figure 17(a): global scatter (us)"))
+    _assert_paper_shape(series)
+
+
+def bench_fig17b_gather(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure17_sweep(TOPOLOGIES, "gather", [1, 2, 4, 8]),
+        rounds=1, iterations=1,
+    )
+    report("fig17b_gather", _render(series, "Figure 17(b): global gather (us)"))
+    _assert_paper_shape(series)
+
+
+def bench_fig17c_scatter_gather(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure17_sweep(TOPOLOGIES, "scatter_gather", [1, 2, 4]),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig17c_scatter_gather",
+        _render(series, "Figure 17(c): global scatter/gather (us)"),
+    )
+    _assert_paper_shape(series)

@@ -1,0 +1,125 @@
+"""Figure 18: average packet latency, localized traffic patterns.
+
+One task is placed within a window of nearby racks; the remaining tasks
+are global cross-traffic; only the local task's packets are measured.
+Asserts the paper's findings: structured topologies exploit locality
+(the tree's local task avoids the core tier; Quartz keeps it inside one
+ring), Jellyfish cannot ("it is unable to take advantage of the traffic
+locality" — its localized latency matches its global latency), and the
+Quartz variants are the fastest and flattest.
+"""
+
+from repro.textplot import line_chart, sweep_to_series
+from repro.experiments import (
+    figure17_sweep,
+    figure18_sweep,
+    format_sweep,
+    run_task_experiment,
+)
+
+TOPOLOGIES = [
+    "three-tier tree",
+    "jellyfish",
+    "quartz in jellyfish",
+    "quartz in edge and core",
+]
+
+SEEDS = (0, 1, 2, 3)
+
+
+def _final(series):
+    return {topo: points[-1].mean_latency for topo, points in series.items()}
+
+
+def _assert_paper_shape(series):
+    final = _final(series)
+    # Quartz keeps local traffic inside one ring: fastest of the roster.
+    assert final["quartz in jellyfish"] < final["three-tier tree"]
+    assert final["quartz in edge and core"] < final["three-tier tree"]
+    # Jellyfish gains nothing from locality: its localized latency is no
+    # better than the Quartz variants', which do exploit it.
+    assert final["jellyfish"] > final["quartz in jellyfish"]
+
+
+def bench_fig18a_scatter(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure18_sweep(TOPOLOGIES, "scatter", [1, 2, 4, 6], seeds=SEEDS),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig18a_scatter",
+        format_sweep(series, "Figure 18(a): localized scatter (us, 4-seed mean)")
+        + "\n\n"
+        + line_chart(sweep_to_series(series), x_label="tasks", y_label="us/packet"),
+    )
+    _assert_paper_shape(series)
+
+
+def bench_fig18b_gather(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure18_sweep(TOPOLOGIES, "gather", [1, 2, 4, 6], seeds=SEEDS),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig18b_gather",
+        format_sweep(series, "Figure 18(b): localized gather (us, 4-seed mean)"),
+    )
+    _assert_paper_shape(series)
+
+
+def bench_fig18c_scatter_gather(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure18_sweep(
+            TOPOLOGIES, "scatter_gather", [1, 2, 4], seeds=SEEDS
+        ),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig18c_scatter_gather",
+        format_sweep(series, "Figure 18(c): localized scatter/gather (us, 4-seed mean)"),
+    )
+    _assert_paper_shape(series)
+
+
+def bench_fig18_locality_benefit(benchmark, report):
+    """Cross-check of the locality story: localized vs global latency.
+
+    The tree's local task avoids the core tier (large gain); Jellyfish's
+    local task sees roughly its global latency (no gain).
+    """
+
+    def run():
+        out = {}
+        for topology in ("three-tier tree", "jellyfish", "quartz in edge and core"):
+            global_mean = sum(
+                run_task_experiment(topology, "scatter", 1, seed=s).mean_latency
+                for s in SEEDS
+            ) / len(SEEDS)
+            local_mean = sum(
+                run_task_experiment(
+                    topology, "scatter", 1, localized=True, seed=s
+                ).mean_latency
+                for s in SEEDS
+            ) / len(SEEDS)
+            out[topology] = (global_mean, local_mean)
+        return out
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Locality benefit: global vs localized single-task latency (us)",
+        f"{'topology':<26}{'global':>10}{'local':>10}{'gain':>8}",
+        "-" * 54,
+    ]
+    for topology, (global_mean, local_mean) in gains.items():
+        lines.append(
+            f"{topology:<26}{global_mean * 1e6:>10.2f}{local_mean * 1e6:>10.2f}"
+            f"{global_mean / local_mean:>8.2f}x"
+        )
+    report("fig18_locality_benefit", "\n".join(lines))
+
+    tree_gain = gains["three-tier tree"][0] / gains["three-tier tree"][1]
+    jellyfish_gain = gains["jellyfish"][0] / gains["jellyfish"][1]
+    # The tree's local task avoids the core: a substantial gain.
+    assert tree_gain > 1.5
+    # Jellyfish exploits locality materially less than the tree does.
+    assert jellyfish_gain < tree_gain

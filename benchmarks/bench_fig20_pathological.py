@@ -1,0 +1,54 @@
+"""Figure 20: the pathological rack-to-rack concentration pattern.
+
+Flows from the servers of one Quartz switch to receivers on another,
+sweeping 10–50 Gb/s aggregate, against a non-blocking core switch.
+Asserts the paper's three curves: the core switch is flat but pays its
+store-and-forward latency; Quartz/ECMP is several microseconds faster
+until the 40 Gb/s channel saturates and then grows without bound;
+Quartz/VLB stays low through 50 Gb/s ("no noticeable increase in packet
+latency when performing VLB routing").
+"""
+
+from repro.experiments import figure20_sweep, format_figure20
+from repro.textplot import Series, line_chart
+from repro.units import GBPS
+
+
+def bench_fig20(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: figure20_sweep([10, 20, 30, 40, 50]),
+        rounds=1, iterations=1,
+    )
+    chart = line_chart(
+        [
+            Series(
+                fabric,
+                tuple(
+                    (r.offered_load_bps / GBPS, min(r.mean_latency * 1e6, 30.0))
+                    for r in series
+                ),
+            )
+            for fabric, series in results.items()
+        ],
+        x_label="offered load (Gb/s)",
+        y_label="us/packet (clipped at 30)",
+    )
+    report("fig20_pathological", format_figure20(results) + "\n\n" + chart)
+
+    by_load = {
+        fabric: {r.offered_load_bps / GBPS: r.mean_latency for r in series}
+        for fabric, series in results.items()
+    }
+    # Non-blocking core: flat, dominated by the 6 µs store-and-forward hop.
+    core = by_load["nonblocking"]
+    assert core[50] < core[10] * 1.2
+    assert core[10] > 6e-6
+    # ECMP beats the core switch below saturation...
+    for load in (10, 20, 30):
+        assert by_load["quartz-ecmp"][load] < core[load] / 3
+    # ...then blows past everything once the 40 G channel saturates.
+    assert by_load["quartz-ecmp"][50] > 10 * core[50]
+    # VLB matches ECMP at low load and stays low through 50 G.
+    assert by_load["quartz-vlb"][10] == by_load["quartz-ecmp"][10]
+    assert by_load["quartz-vlb"][50] < 2 * by_load["quartz-vlb"][10]
+    assert by_load["quartz-vlb"][50] < core[50]

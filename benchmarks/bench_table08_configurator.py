@@ -1,0 +1,37 @@
+"""Table 8: approximate cost and latency comparison across DC sizes.
+
+Prices every scenario's bill of materials and pairs it with the latency
+reductions; asserts the paper's qualitative conclusions — Quartz's cost
+premium is modest everywhere, and replacing the core is roughly cost
+neutral because big chassis switches are as expensive as a ring's
+optics.
+"""
+
+from repro.cost import format_table8, table8
+
+
+def bench_table08(benchmark, report):
+    rows = benchmark(table8)
+
+    lines = [format_table8(rows), ""]
+    for row in rows:
+        lines.append(
+            f"{row.datacenter:<8}{row.utilization:<6}premium "
+            f"{row.cost_premium * 100:+5.1f}%   (paper: small 7%, medium 13%, "
+            "large 0% core / 17% edge+core)"
+        )
+    report("table08_configurator", "\n".join(lines))
+
+    by_key = {(r.datacenter, r.utilization): r for r in rows}
+    # Small DC: single ring carries a single-digit-to-teens premium.
+    assert 0.0 <= by_key[("small", "low")].cost_premium <= 0.20
+    # Medium DC: Quartz in edge costs more, but bounded.
+    assert 0.05 <= by_key[("medium", "low")].cost_premium <= 0.30
+    # Large DC, core replacement: roughly cost neutral (paper: $525 = $525).
+    assert abs(by_key[("large", "low")].cost_premium) <= 0.10
+    # Large DC, edge+core: the biggest premium of the table (paper: 17 %).
+    assert by_key[("large", "high")].cost_premium >= by_key[
+        ("large", "low")
+    ].cost_premium
+    # Latency reductions carried through (paper's Table 8 column).
+    assert by_key[("large", "high")].latency_reduction >= 0.70

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Channel planning study: wavelength budgets for a Quartz pod.
+
+Scenario: you are sizing the WDM gear for Quartz pods of various rack
+counts.  For each candidate size this script reports the wavelengths the
+greedy planner needs, how that compares to the exact ILP optimum (small
+rings) and the link-load lower bound, the number of parallel fibre rings
+and WDM muxes required, and the amplifier budget from the optical power
+analysis (Section 3.3).
+
+Run:  python examples/channel_planning.py
+"""
+
+from repro.core import channels, optical
+from repro.core.channels import FIBER_CHANNEL_LIMIT, WDM_CHANNEL_LIMIT
+
+
+def main() -> None:
+    print("Quartz pod wavelength planning")
+    print(
+        f"(fibre supports {FIBER_CHANNEL_LIMIT} channels, one WDM mux "
+        f"{WDM_CHANNEL_LIMIT}; ILP solved exactly up to 9 racks)\n"
+    )
+    header = (
+        f"{'racks':>6}{'greedy λ':>10}{'ILP λ':>8}{'bound':>7}"
+        f"{'fibre rings':>12}{'amplifiers':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for racks in (4, 6, 8, 9, 12, 16, 24, 33, 35):
+        plan = channels.greedy_assignment(racks)
+        plan.validate()
+        ilp = channels.ilp_assignment(racks).num_channels if racks <= 9 else None
+        rings = channels.rings_needed(racks)
+        amps = optical.amplifiers_required(racks) * rings
+        ilp_cell = f"{ilp:>8}" if ilp is not None else f"{'—':>8}"
+        print(
+            f"{racks:>6}{plan.num_channels:>10}{ilp_cell}"
+            f"{channels.lower_bound(racks):>7}{rings:>12}{amps:>11}"
+        )
+
+    print()
+    largest = channels.max_ring_size(FIBER_CHANNEL_LIMIT)
+    print(f"Largest ring within one fibre's {FIBER_CHANNEL_LIMIT} channels: {largest} racks")
+
+    # The optical budget behind the amplifier column (Section 3.3).
+    hops = optical.max_unamplified_wdm_hops()
+    spacing = optical.amplifier_spacing_switches()
+    print(
+        f"Power budget: {optical.Transceiver().power_budget_db:.0f} dB → a channel "
+        f"crosses {hops} DWDMs unamplified → one amplifier per {spacing} switches"
+    )
+    trace = optical.trace_channel(12)
+    print(
+        f"A 12-hop channel bottoms out at {trace.min_power_dbm:.1f} dBm "
+        f"(receiver sensitivity −15 dBm): {'OK' if trace.feasible else 'FAILS'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

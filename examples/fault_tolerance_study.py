@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fault-tolerance study: how many parallel fibre rings does a pod need?
+
+Scenario: an operator deploying a 33-switch Quartz element (which needs
+two 80-channel WDMs per switch anyway) wants to know what each extra
+fibre ring buys in resilience.  Reproduces the Figure 6 analysis:
+bandwidth loss and partition probability under 1–4 simultaneous fibre
+cuts, for 1–4 parallel rings, plus an exact (exhaustively enumerated)
+cross-check on a small ring.
+
+Run:  python examples/fault_tolerance_study.py
+"""
+
+from repro.core.channels import greedy_assignment
+from repro.core.fault import RingFaultModel
+
+
+def main() -> None:
+    ring_size = 33
+    plan = greedy_assignment(ring_size)
+    print(f"Quartz element: {ring_size} switches, {plan.num_channels} wavelengths\n")
+
+    header = f"{'rings':>6}{'failures':>9}{'bandwidth loss':>16}{'P(partition)':>14}"
+    print(header)
+    print("-" * len(header))
+    for rings in (1, 2, 3, 4):
+        model = RingFaultModel(ring_size, rings, plan)
+        for failures in (1, 2, 4):
+            stats = model.simulate(failures, trials=600, seed=1)
+            print(
+                f"{rings:>6}{failures:>9}{stats.bandwidth_loss:>15.1%}"
+                f"{stats.partition_probability:>14.4f}"
+            )
+        print()
+
+    print("Reading the table:")
+    one = RingFaultModel(ring_size, 1, plan).simulate(1, trials=600, seed=1)
+    four = RingFaultModel(ring_size, 4, plan).simulate(1, trials=600, seed=1)
+    print(
+        f"  One fibre cut costs {one.bandwidth_loss:.0%} of direct channels on a "
+        f"single ring, {four.bandwidth_loss:.0%} with four rings."
+    )
+    two = RingFaultModel(ring_size, 2, plan).simulate(4, trials=2000, seed=1)
+    print(
+        f"  With two rings, even four simultaneous cuts partition the mesh "
+        f"with probability {two.partition_probability:.4f} (paper: 0.0024)."
+    )
+
+    # Exact enumeration sanity check on a small ring.
+    small = RingFaultModel(8, 1)
+    exact = small.exact_partition_probability(2)
+    sampled = small.simulate(2, trials=3000, seed=2).partition_probability
+    print(
+        f"\nCross-check (8-switch ring, 2 cuts): exact P = {exact:.4f}, "
+        f"Monte-Carlo P = {sampled:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's canonical Quartz element and use it.
+
+Walks through the core API in five steps:
+
+1. configure the 1056-port Quartz element (33 × 64-port switches),
+2. plan its wavelengths and check the optical power budget,
+3. materialize the logical full-mesh topology,
+4. route with ECMP (always the direct channel) and VLB,
+5. simulate a latency-sensitive exchange and print the latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import QuartzRing
+from repro.routing import ECMPRouter, VLBRouter
+from repro.sim import Network, RPCSource
+from repro.units import usec
+
+
+def main() -> None:
+    # 1. The paper's reference design element: 64-port cut-through
+    #    switches split 32 server ports / 32 mesh ports.
+    ring = QuartzRing.from_switch_ports(64)
+    ring.validate()
+    print("Element:", ring.summary())
+
+    # 2. Wavelength plan (greedy heuristic, Section 3.1) and optics.
+    plan = ring.channel_plan()
+    plan.validate()
+    print(
+        f"Wavelengths: {plan.num_channels} channels over "
+        f"{ring.physical_rings} fibre ring(s); "
+        f"{ring.amplifiers_required} amplifiers keep the budget closed"
+    )
+    example = plan.assignment_for(0, 16)
+    print(
+        f"Racks 0 and 16 talk on wavelength #{example.channel}, an arc of "
+        f"{example.length} fibre segments"
+    )
+
+    # 3. The logical topology: a full mesh of ToR switches.  Attach two
+    #    servers per rack to keep the demo small.
+    topo = ring.to_topology(servers_per_switch=2)
+    print("Topology:", topo.summary())
+
+    # 4. Routing: ECMP always picks the one-hop channel; VLB can detour.
+    ecmp = ECMPRouter(topo)
+    vlb = VLBRouter(topo, direct_fraction=0.5)
+    direct = ecmp.route("h0.0", "h16.0")
+    print(f"ECMP path rack 0 → rack 16: {' → '.join(direct)}")
+    print(f"VLB offers {len(vlb.paths('h0.0', 'h16.0'))} paths (1 direct + detours)")
+
+    # 5. A 1000-call RPC ping-pong across the mesh.
+    net = Network(topo, ecmp)
+    rpc = RPCSource(net, "h0.0", "h16.0", num_calls=1000, group="rpc")
+    rpc.start()
+    net.run()
+    summary = net.stats.summary("rpc")
+    print(
+        f"RPC round-trip over the mesh: mean {usec(summary.mean):.2f} us, "
+        f"p99 {usec(summary.p99):.2f} us ({summary.count} calls)"
+    )
+
+
+if __name__ == "__main__":
+    main()

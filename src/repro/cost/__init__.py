@@ -1,0 +1,48 @@
+"""Cost modelling: price list, bills of materials, and the Table 8 configurator."""
+
+from repro.cost.bom import (
+    BillOfMaterials,
+    BOMError,
+    quartz_core_bom,
+    quartz_edge_and_core_bom,
+    quartz_edge_bom,
+    quartz_ring_bom,
+    three_tier_tree_bom,
+    two_tier_tree_bom,
+)
+from repro.cost.configurator import (
+    PAPER_LATENCY_REDUCTIONS,
+    ScenarioRow,
+    format_table8,
+    table8,
+)
+from repro.cost.pricelist import DEFAULT_PRICES, PriceList
+from repro.cost.recommend import (
+    Candidate,
+    Recommendation,
+    RecommendationError,
+    candidates_for,
+    recommend,
+)
+
+__all__ = [
+    "BillOfMaterials",
+    "Candidate",
+    "Recommendation",
+    "RecommendationError",
+    "candidates_for",
+    "recommend",
+    "BOMError",
+    "DEFAULT_PRICES",
+    "PAPER_LATENCY_REDUCTIONS",
+    "PriceList",
+    "ScenarioRow",
+    "format_table8",
+    "quartz_core_bom",
+    "quartz_edge_and_core_bom",
+    "quartz_edge_bom",
+    "quartz_ring_bom",
+    "table8",
+    "three_tier_tree_bom",
+    "two_tier_tree_bom",
+]

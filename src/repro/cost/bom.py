@@ -1,0 +1,232 @@
+"""Bills of materials for the deployment scenarios of Table 8.
+
+Every builder returns a :class:`BillOfMaterials` — a typed count of
+parts — priced against a :class:`~repro.cost.pricelist.PriceList`.
+Sizing conventions (documented here because the paper only gives
+results, not its arithmetic):
+
+* 64-port cut-through switches in edge/aggregation tiers, split 48
+  server-facing / 16 uplink ports (3:1 oversubscription) in trees;
+* 768 × 10 G store-and-forward switches in tree cores;
+* Quartz rings sized at 32 servers + 32 mesh ports per switch (the
+  paper's canonical split), with DWDM transceivers per rack pair, one
+  WDM mux per switch per fibre ring, amplifiers per Section 3.3's
+  spacing, and one attenuator per transceiver;
+* servers attach with DAC cables; switch-to-switch links use fibre with
+  an optic at each end (SR for tree tiers, QSFP for 40 G uplinks, DWDM
+  inside Quartz rings).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.channels import wavelengths_required, WDM_CHANNEL_LIMIT
+from repro.core.optical import amplifiers_required
+from repro.cost.pricelist import DEFAULT_PRICES, PriceList
+
+
+class BOMError(ValueError):
+    """Raised for unsatisfiable sizing requests."""
+
+
+@dataclass
+class BillOfMaterials:
+    """Part counts for one network build."""
+
+    items: dict[str, int] = field(default_factory=dict)
+
+    def add(self, item: str, count: int) -> None:
+        if count < 0:
+            raise BOMError(f"negative count for {item!r}")
+        self.items[item] = self.items.get(item, 0) + count
+
+    def __add__(self, other: "BillOfMaterials") -> "BillOfMaterials":
+        merged = BillOfMaterials(dict(self.items))
+        for item, count in other.items.items():
+            merged.add(item, count)
+        return merged
+
+    def count(self, item: str) -> int:
+        return self.items.get(item, 0)
+
+    def total_cost(self, prices: PriceList = DEFAULT_PRICES) -> float:
+        """Price the BOM; unknown part names raise."""
+        total = 0.0
+        for item, count in self.items.items():
+            unit = getattr(prices, item, None)
+            if unit is None:
+                raise BOMError(f"no price for part {item!r}")
+            total += unit * count
+        return total
+
+    def cost_per_server(
+        self, num_servers: int, prices: PriceList = DEFAULT_PRICES
+    ) -> float:
+        if num_servers < 1:
+            raise BOMError("need at least one server")
+        return self.total_cost(prices) / num_servers
+
+
+# -- tree builders ------------------------------------------------------------------
+
+
+def two_tier_tree_bom(
+    num_servers: int,
+    tor_server_ports: int = 48,
+    tor_uplink_ports: int = 16,
+    agg_ports: int = 64,
+) -> BillOfMaterials:
+    """Two-tier tree: cut-through ToRs under cut-through aggregation."""
+    if num_servers < 1:
+        raise BOMError("need at least one server")
+    bom = BillOfMaterials()
+    tors = math.ceil(num_servers / tor_server_ports)
+    uplinks = tors * tor_uplink_ports
+    aggs = max(1, math.ceil(uplinks / agg_ports))
+    bom.add("cut_through_switch", tors + aggs)
+    bom.add("sr_transceiver", uplinks * 2)
+    bom.add("fiber_cable", uplinks)
+    bom.add("dac_cable", num_servers)
+    return bom
+
+
+def three_tier_tree_bom(
+    num_servers: int,
+    tor_server_ports: int = 48,
+    tor_uplink_ports: int = 16,
+    agg_down_ports: int = 48,
+    agg_uplink_ports: int = 16,
+    core_ports: int = 768,
+) -> BillOfMaterials:
+    """Three-tier tree: cut-through edge/agg, store-and-forward core."""
+    bom = BillOfMaterials()
+    tors = math.ceil(num_servers / tor_server_ports)
+    tor_uplinks = tors * tor_uplink_ports
+    aggs = max(1, math.ceil(tor_uplinks / agg_down_ports))
+    agg_uplinks = aggs * agg_uplink_ports
+    cores = max(1, math.ceil(agg_uplinks / core_ports))
+    bom.add("cut_through_switch", tors + aggs)
+    bom.add("core_switch", cores)
+    bom.add("sr_transceiver", (tor_uplinks + agg_uplinks) * 2)
+    bom.add("fiber_cable", tor_uplinks + agg_uplinks)
+    bom.add("dac_cable", num_servers)
+    return bom
+
+
+# -- Quartz builders -----------------------------------------------------------------
+
+
+def quartz_ring_bom(
+    num_switches: int,
+    servers: int,
+    include_server_cables: bool = True,
+) -> BillOfMaterials:
+    """One Quartz ring of ``num_switches`` (single-ToR racks).
+
+    Optics per Section 3: one DWDM transceiver per switch per peer, one
+    WDM mux per switch per parallel fibre ring, amplifiers every two
+    switches per ring, one attenuator per transceiver, and one fibre
+    segment per switch per ring.
+    """
+    if num_switches < 2:
+        raise BOMError("a ring needs at least two switches")
+    bom = BillOfMaterials()
+    bom.add("cut_through_switch", num_switches)
+    transceivers = num_switches * (num_switches - 1)
+    bom.add("dwdm_transceiver", transceivers)
+    bom.add("attenuator", transceivers)
+    rings = max(1, math.ceil(wavelengths_required(num_switches) / WDM_CHANNEL_LIMIT))
+    bom.add("dwdm_mux", num_switches * rings)
+    bom.add("amplifier", amplifiers_required(num_switches) * rings)
+    bom.add("fiber_cable", num_switches * rings)
+    if include_server_cables:
+        bom.add("dac_cable", servers)
+    return bom
+
+
+def quartz_edge_bom(
+    num_servers: int,
+    ring_size: int = 16,
+    servers_per_switch: int = 32,
+    uplinks_per_switch: int = 2,
+    core_ports_40g: int = 192,
+) -> BillOfMaterials:
+    """Quartz rings replacing the ToR + aggregation tiers, under a
+    store-and-forward core (Figure 15(c))."""
+    bom = BillOfMaterials()
+    servers_per_ring = ring_size * servers_per_switch
+    rings = math.ceil(num_servers / servers_per_ring)
+    for _ in range(rings):
+        bom += quartz_ring_bom(ring_size, 0, include_server_cables=False)
+    uplinks = rings * ring_size * uplinks_per_switch  # 40 G links to cores
+    cores = max(1, math.ceil(uplinks / core_ports_40g))
+    bom.add("core_switch", cores)
+    bom.add("qsfp_transceiver", uplinks * 2)
+    bom.add("fiber_cable", uplinks)
+    bom.add("dac_cable", num_servers)
+    return bom
+
+
+def quartz_core_bom(
+    num_servers: int,
+    tor_server_ports: int = 48,
+    tor_uplink_ports: int = 16,
+    agg_down_ports: int = 48,
+    agg_uplink_ports: int = 16,
+    core_ring_switch_ports: int = 16,
+) -> BillOfMaterials:
+    """Three-tier tree with the core tier replaced by Quartz rings of
+    40 G cut-through switches (Figure 15(b)).
+
+    Each replacement ring switch has 16 × 40 G ports, split 8 facing the
+    aggregation tier and 8 into the mesh (ring size 9 per the canonical
+    half/half split).
+    """
+    bom = BillOfMaterials()
+    tors = math.ceil(num_servers / tor_server_ports)
+    tor_uplinks = tors * tor_uplink_ports
+    aggs = max(1, math.ceil(tor_uplinks / agg_down_ports))
+    agg_uplinks_40g = aggs * agg_uplink_ports // 4  # 4 × 10 G lanes per 40 G
+    bom.add("cut_through_switch", tors + aggs)
+    bom.add("sr_transceiver", tor_uplinks * 2)
+    bom.add("fiber_cable", tor_uplinks)
+
+    half = core_ring_switch_ports // 2
+    ring_size = half + 1
+    down_ports_per_ring = ring_size * half
+    rings = max(1, math.ceil(agg_uplinks_40g / down_ports_per_ring))
+    for _ in range(rings):
+        bom += quartz_ring_bom(ring_size, 0, include_server_cables=False)
+    bom.add("qsfp_transceiver", agg_uplinks_40g * 2)
+    bom.add("fiber_cable", agg_uplinks_40g)
+    bom.add("dac_cable", num_servers)
+    return bom
+
+
+def quartz_edge_and_core_bom(
+    num_servers: int,
+    ring_size: int = 16,
+    servers_per_switch: int = 32,
+    uplinks_per_switch: int = 2,
+    core_ring_switch_ports: int = 16,
+) -> BillOfMaterials:
+    """Quartz at both tiers (Figure 15(d))."""
+    bom = BillOfMaterials()
+    servers_per_ring = ring_size * servers_per_switch
+    edge_rings = math.ceil(num_servers / servers_per_ring)
+    for _ in range(edge_rings):
+        bom += quartz_ring_bom(ring_size, 0, include_server_cables=False)
+    uplinks = edge_rings * ring_size * uplinks_per_switch  # 40 G
+
+    half = core_ring_switch_ports // 2
+    core_ring_size = half + 1
+    down_per_core_ring = core_ring_size * half
+    core_rings = max(1, math.ceil(uplinks / down_per_core_ring))
+    for _ in range(core_rings):
+        bom += quartz_ring_bom(core_ring_size, 0, include_server_cables=False)
+    bom.add("qsfp_transceiver", uplinks * 2)
+    bom.add("fiber_cable", uplinks)
+    bom.add("dac_cable", num_servers)
+    return bom

@@ -1,0 +1,161 @@
+"""The cost/latency configurator — paper Section 4.4, Table 8.
+
+"Datacenter providers must balance the gain from reducing end-to-end
+latency with the cost of using low-latency hardware."  The configurator
+prices both the baseline tree and the Quartz alternative for each
+datacenter size, and pairs the cost with the latency reduction measured
+by this repository's own simulations (Section 7 benchmarks).
+
+The latency-reduction defaults are the paper's Table 8 figures; the
+Figure 17 benchmark recomputes our measured equivalents so the table can
+be regenerated end-to-end from this repo.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.bom import (
+    BillOfMaterials,
+    quartz_core_bom,
+    quartz_edge_and_core_bom,
+    quartz_edge_bom,
+    quartz_ring_bom,
+    three_tier_tree_bom,
+    two_tier_tree_bom,
+)
+from repro.cost.pricelist import DEFAULT_PRICES, PriceList
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One Table 8 comparison: baseline vs Quartz for a DC size/load."""
+
+    datacenter: str
+    num_servers: int
+    utilization: str  # "low" (≈50 % link load) or "high" (≈70 %)
+    baseline_name: str
+    baseline_cost_per_server: float
+    quartz_name: str
+    quartz_cost_per_server: float
+    latency_reduction: float  # fraction, e.g. 0.33
+
+    @property
+    def cost_premium(self) -> float:
+        """Quartz cost increase over the baseline (fraction)."""
+        return self.quartz_cost_per_server / self.baseline_cost_per_server - 1.0
+
+
+#: Paper Table 8 latency-reduction figures, keyed by
+#: (datacenter, utilization).  The Figure 17/18 benchmarks measure our
+#: own equivalents; pass them to :func:`table8` to regenerate the table
+#: entirely from this repository's simulations.
+PAPER_LATENCY_REDUCTIONS: dict[tuple[str, str], float] = {
+    ("small", "low"): 0.33,
+    ("small", "high"): 0.50,
+    ("medium", "low"): 0.20,
+    ("medium", "high"): 0.40,
+    ("large", "low"): 0.70,
+    ("large", "high"): 0.74,
+}
+
+
+def _small_scenario(
+    utilization: str, prices: PriceList, reduction: float
+) -> ScenarioRow:
+    servers = 500
+    baseline = two_tier_tree_bom(servers)
+    ring_size = math.ceil(servers / 32)
+    quartz = quartz_ring_bom(ring_size, servers)
+    return ScenarioRow(
+        datacenter="small",
+        num_servers=servers,
+        utilization=utilization,
+        baseline_name="two-tier tree",
+        baseline_cost_per_server=baseline.cost_per_server(servers, prices),
+        quartz_name="single Quartz ring",
+        quartz_cost_per_server=quartz.cost_per_server(servers, prices),
+        latency_reduction=reduction,
+    )
+
+
+def _medium_scenario(
+    utilization: str, prices: PriceList, reduction: float
+) -> ScenarioRow:
+    servers = 10_000
+    baseline = three_tier_tree_bom(servers)
+    quartz = quartz_edge_bom(servers)
+    return ScenarioRow(
+        datacenter="medium",
+        num_servers=servers,
+        utilization=utilization,
+        baseline_name="three-tier tree",
+        baseline_cost_per_server=baseline.cost_per_server(servers, prices),
+        quartz_name="Quartz in edge",
+        quartz_cost_per_server=quartz.cost_per_server(servers, prices),
+        latency_reduction=reduction,
+    )
+
+
+def _large_scenario(
+    utilization: str, prices: PriceList, reduction: float
+) -> ScenarioRow:
+    servers = 100_000
+    baseline = three_tier_tree_bom(servers)
+    if utilization == "low":
+        quartz_name = "Quartz in core"
+        quartz: BillOfMaterials = quartz_core_bom(servers)
+    else:
+        quartz_name = "Quartz in edge and core"
+        quartz = quartz_edge_and_core_bom(servers)
+    return ScenarioRow(
+        datacenter="large",
+        num_servers=servers,
+        utilization=utilization,
+        baseline_name="three-tier tree",
+        baseline_cost_per_server=baseline.cost_per_server(servers, prices),
+        quartz_name=quartz_name,
+        quartz_cost_per_server=quartz.cost_per_server(servers, prices),
+        latency_reduction=reduction,
+    )
+
+
+def table8(
+    prices: PriceList = DEFAULT_PRICES,
+    latency_reductions: dict[tuple[str, str], float] | None = None,
+) -> list[ScenarioRow]:
+    """Build the full Table 8: six scenarios across three DC sizes.
+
+    ``latency_reductions`` overrides the paper's figures with measured
+    ones (keys: ``(datacenter, utilization)``).
+    """
+    reductions = dict(PAPER_LATENCY_REDUCTIONS)
+    if latency_reductions:
+        reductions.update(latency_reductions)
+    rows = []
+    for utilization in ("low", "high"):
+        rows.append(_small_scenario(utilization, prices, reductions[("small", utilization)]))
+    for utilization in ("low", "high"):
+        rows.append(_medium_scenario(utilization, prices, reductions[("medium", utilization)]))
+    for utilization in ("low", "high"):
+        rows.append(_large_scenario(utilization, prices, reductions[("large", utilization)]))
+    return rows
+
+
+def format_table8(rows: list[ScenarioRow]) -> str:
+    """Render Table 8 as aligned text (the benchmark prints this)."""
+    lines = [
+        f"{'DC size':<18}{'Util':<6}{'Topology':<26}{'LatRed':>7}{'$/server':>10}",
+        "-" * 67,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.datacenter + f' ({row.num_servers})':<18}{row.utilization:<6}"
+            f"{row.baseline_name:<26}{'':>7}{row.baseline_cost_per_server:>10.0f}"
+        )
+        lines.append(
+            f"{'':<18}{'':<6}{row.quartz_name:<26}"
+            f"{row.latency_reduction * 100:>6.0f}%{row.quartz_cost_per_server:>10.0f}"
+        )
+    return "\n".join(lines)

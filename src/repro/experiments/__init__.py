@@ -1,0 +1,61 @@
+"""Experiment runners that regenerate the paper's evaluation figures.
+
+Each module wraps one evaluation section end-to-end (topology + workload
++ measurement), so benchmarks, examples, and downstream users reproduce
+a figure with one call:
+
+* :mod:`~repro.experiments.section7` — Figures 17 and 18 (task latency
+  under global and localized traffic).
+* :mod:`~repro.experiments.pathological` — Figure 20 (Section 7.2).
+* :mod:`~repro.experiments.bisection` — Figure 10 (Section 5.1).
+"""
+
+from repro.experiments.breakdown import (
+    breakdown_table,
+    format_breakdown_table,
+    latency_breakdown,
+)
+from repro.experiments.bisection import (
+    BisectionResult,
+    figure10_sweep,
+    format_figure10,
+)
+from repro.experiments.pathological import (
+    PathologicalResult,
+    figure20_sweep,
+    format_figure20,
+    nonblocking_testbed,
+    quartz_core_testbed,
+    run_pathological,
+)
+from repro.experiments.section7 import (
+    TOPOLOGY_BUILDERS,
+    SweepPoint,
+    TaskExperimentResult,
+    figure17_sweep,
+    figure18_sweep,
+    format_sweep,
+    run_task_experiment,
+)
+
+__all__ = [
+    "BisectionResult",
+    "PathologicalResult",
+    "TOPOLOGY_BUILDERS",
+    "SweepPoint",
+    "TaskExperimentResult",
+    "breakdown_table",
+    "figure10_sweep",
+    "format_breakdown_table",
+    "latency_breakdown",
+    "figure17_sweep",
+    "figure18_sweep",
+    "figure20_sweep",
+    "format_figure10",
+    "format_figure20",
+    "format_sweep",
+    "nonblocking_testbed",
+    "quartz_core_testbed",
+    "run_pathological",
+    "run_task_experiment",
+]

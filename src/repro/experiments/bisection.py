@@ -1,0 +1,103 @@
+"""Section 5.1: the bisection-bandwidth study (Figure 10).
+
+Normalized throughput of a Quartz mesh (one- and two-hop VLB paths)
+against full-, half- and quarter-bisection reference fabrics, under the
+paper's three traffic patterns: random permutation, incast, and
+rack-level shuffle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import repro.topology as T
+from repro.flowsim import evaluate, oversubscribed_fabric
+from repro.routing import DemandAwareVLBRouter, ECMPRouter
+from repro.topology.base import Topology
+from repro.units import GBPS
+from repro.workloads.patterns import (
+    TrafficMatrix,
+    incast,
+    rack_level_shuffle,
+    random_permutation,
+)
+
+LINE_RATE = 10 * GBPS
+
+#: Pattern name → generator(topology, demand, seed).
+PATTERNS: dict[str, Callable[[Topology, float, int], TrafficMatrix]] = {
+    "random permutation": lambda topo, demand, seed: random_permutation(
+        topo, demand, seed=seed
+    ),
+    "incast": lambda topo, demand, seed: incast(topo, demand, fan_in=10, seed=seed),
+    "rack level shuffle": lambda topo, demand, seed: rack_level_shuffle(
+        topo, demand, target_racks=4, seed=seed
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    """One Figure 10 bar."""
+
+    fabric: str
+    pattern: str
+    normalized_throughput: float
+
+
+def figure10_sweep(
+    num_racks: int = 9,
+    servers_per_rack: int = 8,
+    seed: int = 0,
+) -> list[BisectionResult]:
+    """All Figure 10 bars: 4 fabrics × 3 patterns.
+
+    The Quartz mesh is balanced like the paper's canonical 33 × 32
+    element — rack NIC capacity equals the rack's aggregate channel
+    capacity (``servers_per_rack = num_racks − 1``) — and routes with
+    demand-aware VLB over one- and two-hop paths.  The reference fabrics
+    route through their (scaled) non-blocking root.
+    """
+    quartz = T.quartz_ring(num_racks, servers_per_rack)
+    fabrics: list[tuple[str, Topology]] = [
+        ("full bisection", oversubscribed_fabric(num_racks, servers_per_rack, 1.0)),
+        ("quartz", quartz),
+        ("1/2 bisection", oversubscribed_fabric(num_racks, servers_per_rack, 0.5)),
+        ("1/4 bisection", oversubscribed_fabric(num_racks, servers_per_rack, 0.25)),
+    ]
+    results = []
+    for pattern_name, generator in PATTERNS.items():
+        for fabric_name, topo in fabrics:
+            matrix = generator(topo, LINE_RATE, seed)
+            if fabric_name == "quartz":
+                router: ECMPRouter | DemandAwareVLBRouter = DemandAwareVLBRouter(
+                    topo, matrix
+                )
+                outcome = evaluate(topo, router, matrix, LINE_RATE, multipath=True)
+            else:
+                router = ECMPRouter(topo)
+                outcome = evaluate(topo, router, matrix, LINE_RATE)
+            results.append(
+                BisectionResult(
+                    fabric=fabric_name,
+                    pattern=pattern_name,
+                    normalized_throughput=outcome.normalized,
+                )
+            )
+    return results
+
+
+def format_figure10(results: list[BisectionResult]) -> str:
+    """Render the Figure 10 grid as a text table."""
+    fabrics = list(dict.fromkeys(r.fabric for r in results))
+    patterns = list(dict.fromkeys(r.pattern for r in results))
+    by_key = {(r.fabric, r.pattern): r.normalized_throughput for r in results}
+    header = f"{'fabric':<16}" + "".join(f"{p:>20}" for p in patterns)
+    lines = ["Figure 10: normalized throughput", header, "-" * len(header)]
+    for fabric in fabrics:
+        row = f"{fabric:<16}" + "".join(
+            f"{by_key[(fabric, p)]:>20.3f}" for p in patterns
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Flow-completion-time (FCT) fluid simulation.
+
+The paper's motivation is flow latency — "a wide-area request may
+trigger hundreds of message exchanges inside a datacenter" — and its
+related work (DCTCP, D3, PDQ, DeTail) is evaluated on FCTs.  This module
+adds the classic fluid FCT model on top of the max-min allocator: flows
+arrive over time with a size and a route; whenever the active set
+changes (an arrival or a completion), rates are re-solved max-min
+fairly; flows complete when their bytes drain.
+
+This complements the packet simulator: packet-level runs capture
+queueing microstructure; the fluid model scales to large flow counts
+and long horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flowsim.maxmin import (
+    Flow,
+    capacities_of,
+    max_min_rates,
+    max_min_rates_multipath,
+)
+from repro.routing.base import Router
+from repro.topology.base import Topology
+from repro.units import BITS_PER_BYTE
+
+
+class FCTError(RuntimeError):
+    """Raised when the fluid simulation cannot make progress."""
+
+
+@dataclass(frozen=True)
+class TimedFlow:
+    """A flow with an arrival time and a size."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    arrival: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise FCTError(f"flow {self.flow_id} size must be positive")
+        if self.arrival < 0:
+            raise FCTError(f"flow {self.flow_id} arrival must be non-negative")
+
+
+@dataclass(frozen=True)
+class FlowCompletion:
+    """Result for one flow."""
+
+    flow_id: int
+    arrival: float
+    completion: float
+    size_bytes: float
+
+    @property
+    def fct(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def average_rate_bps(self) -> float:
+        return self.size_bytes * BITS_PER_BYTE / self.fct
+
+
+class FCTSimulator:
+    """Event-driven fluid simulation of max-min shared flows."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        router: Router,
+        multipath: bool = False,
+        demand_cap_bps: float | None = None,
+    ) -> None:
+        """``multipath`` switches the allocator to adaptive multipath
+        spill (see :mod:`repro.flowsim.maxmin`).  ``demand_cap_bps``
+        bounds any single flow's rate (e.g. a transport pacing limit);
+        by default flows are limited only by their paths' links."""
+        self.topo = topo
+        self.router = router
+        self.multipath = multipath
+        self.capacities = capacities_of(topo)
+        if demand_cap_bps is None:
+            demand_cap_bps = max(self.capacities.values())
+        if demand_cap_bps <= 0:
+            raise FCTError("demand cap must be positive")
+        self.demand_cap = demand_cap_bps
+
+    def run(self, flows: list[TimedFlow], horizon: float | None = None) -> list[FlowCompletion]:
+        """Simulate until every flow completes (or ``horizon`` passes).
+
+        Returns completions sorted by flow id; flows unfinished at the
+        horizon are omitted.  Raises :class:`FCTError` if the active set
+        deadlocks (every active flow at rate zero with no arrivals
+        pending).
+        """
+        if not flows:
+            return []
+        ids = [f.flow_id for f in flows]
+        if len(ids) != len(set(ids)):
+            raise FCTError("duplicate flow ids")
+
+        pending = sorted(flows, key=lambda f: (f.arrival, f.flow_id))
+        arrivals = iter(pending)
+        next_arrival = next(arrivals, None)
+
+        remaining: dict[int, float] = {}  # bits left
+        spec: dict[int, TimedFlow] = {}
+        completions: list[FlowCompletion] = []
+        now = 0.0
+        allocate = max_min_rates_multipath if self.multipath else max_min_rates
+
+        while remaining or next_arrival is not None:
+            if horizon is not None and now >= horizon:
+                break
+            if not remaining:
+                assert next_arrival is not None
+                now = max(now, next_arrival.arrival)
+                while next_arrival is not None and next_arrival.arrival <= now:
+                    spec[next_arrival.flow_id] = next_arrival
+                    remaining[next_arrival.flow_id] = (
+                        next_arrival.size_bytes * BITS_PER_BYTE
+                    )
+                    next_arrival = next(arrivals, None)
+
+            active = [
+                Flow(
+                    flow_id=fid,
+                    paths=tuple(self.router.weighted_paths(spec[fid].src, spec[fid].dst)),
+                    demand=self.demand_cap,
+                )
+                for fid in sorted(remaining)
+            ]
+            rates = allocate(active, self.capacities)
+
+            # Next event: earliest completion or next arrival.
+            finish_time = None
+            for fid, bits in remaining.items():
+                rate = rates.get(fid, 0.0)
+                if rate > 1e-9:
+                    t = now + bits / rate
+                    if finish_time is None or t < finish_time:
+                        finish_time = t
+            arrival_time = next_arrival.arrival if next_arrival is not None else None
+            if finish_time is None and arrival_time is None:
+                raise FCTError(
+                    f"deadlock at t={now}: {len(remaining)} flows active, all at "
+                    "rate zero and no arrivals pending"
+                )
+
+            candidates = [t for t in (finish_time, arrival_time) if t is not None]
+            next_time = min(candidates)
+            if horizon is not None:
+                next_time = min(next_time, horizon)
+            dt = next_time - now
+            for fid in list(remaining):
+                remaining[fid] = max(0.0, remaining[fid] - rates.get(fid, 0.0) * dt)
+            now = next_time
+
+            for fid in sorted(remaining):
+                if remaining[fid] <= 1e-6:
+                    flow = spec[fid]
+                    completions.append(
+                        FlowCompletion(
+                            flow_id=fid,
+                            arrival=flow.arrival,
+                            completion=now,
+                            size_bytes=flow.size_bytes,
+                        )
+                    )
+                    del remaining[fid]
+                    del spec[fid]
+            while next_arrival is not None and next_arrival.arrival <= now:
+                spec[next_arrival.flow_id] = next_arrival
+                remaining[next_arrival.flow_id] = (
+                    next_arrival.size_bytes * BITS_PER_BYTE
+                )
+                next_arrival = next(arrivals, None)
+
+        return sorted(completions, key=lambda c: c.flow_id)
+
+
+def mean_fct(completions: list[FlowCompletion]) -> float:
+    """Mean flow completion time over a result set."""
+    if not completions:
+        raise FCTError("no completed flows")
+    return sum(c.fct for c in completions) / len(completions)

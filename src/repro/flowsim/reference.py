@@ -1,0 +1,42 @@
+"""Reference fabrics for the bisection-bandwidth comparison (Figure 10).
+
+The paper compares Quartz's throughput against an ideal full-bisection
+network and against networks with 1/2 and 1/4 bisection bandwidth.  We
+model these as two-tier trees whose aggregate uplink capacity is the
+rack's server capacity scaled by the bisection factor: factor 1 is a
+non-blocking fabric, 1/2 and 1/4 are the oversubscribed references.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.topology.tree import two_tier_tree
+from repro.units import GBPS
+
+
+def oversubscribed_fabric(
+    num_racks: int,
+    servers_per_rack: int,
+    bisection_factor: float = 1.0,
+    host_rate: float = 10 * GBPS,
+    name: str | None = None,
+) -> Topology:
+    """A two-tier fabric with ``bisection_factor`` of full bisection.
+
+    Each ToR's uplink to the (single, non-blocking) core carries
+    ``servers_per_rack × host_rate × bisection_factor``.
+    """
+    if bisection_factor <= 0:
+        raise ValueError(f"bisection factor must be positive, got {bisection_factor}")
+    uplink = servers_per_rack * host_rate * bisection_factor
+    label = name or f"fabric-{bisection_factor:g}x-{num_racks}x{servers_per_rack}"
+    return two_tier_tree(
+        num_tors=num_racks,
+        servers_per_tor=servers_per_rack,
+        num_roots=1,
+        host_rate=host_rate,
+        uplink_rate=uplink,
+        tor_model="ULL",
+        root_model="CCS",
+        name=label,
+    )

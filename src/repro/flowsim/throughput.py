@@ -1,0 +1,105 @@
+"""Normalized-throughput evaluation — paper Section 5.1 / Figure 10.
+
+Given a traffic matrix, the achieved aggregate rate under max-min fair
+sharing is compared against the rate an ideal non-blocking fabric would
+deliver for the *same* matrix.  "The normalized throughput equals 1 if
+every server can send traffic at its full rate"; patterns that are
+receiver-limited even on an ideal fabric (incast) are normalized against
+that ideal, so the metric isolates what the *fabric* loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flowsim.maxmin import (
+    Flow,
+    capacities_of,
+    max_min_rates,
+    max_min_rates_multipath,
+)
+from repro.routing.base import Router, WeightedPath
+from repro.topology.base import Topology
+
+#: A traffic matrix: (source server, destination server, demand bps).
+TrafficMatrix = list[tuple[str, str, float]]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one traffic-matrix evaluation."""
+
+    aggregate_bps: float
+    ideal_bps: float
+    per_flow_bps: dict[int, float]
+
+    @property
+    def normalized(self) -> float:
+        if self.ideal_bps <= 0:
+            raise ValueError("ideal throughput is zero; empty traffic matrix?")
+        return self.aggregate_bps / self.ideal_bps
+
+
+def build_flows(router: Router, matrix: TrafficMatrix) -> list[Flow]:
+    """Materialize a traffic matrix into weighted-path flows."""
+    flows = []
+    for flow_id, (src, dst, demand) in enumerate(matrix):
+        flows.append(
+            Flow(
+                flow_id=flow_id,
+                paths=tuple(router.weighted_paths(src, dst)),
+                demand=demand,
+            )
+        )
+    return flows
+
+
+def achieved_throughput(
+    topo: Topology,
+    router: Router,
+    matrix: TrafficMatrix,
+    multipath: bool = False,
+) -> dict[int, float]:
+    """Max-min fair per-flow rates of ``matrix`` on ``topo``.
+
+    ``multipath=True`` lets each flow use its paths independently
+    (idealized multipath transport) instead of at the router's fixed
+    split ratio — see :func:`repro.flowsim.maxmin.max_min_rates_multipath`.
+    """
+    flows = build_flows(router, matrix)
+    allocate = max_min_rates_multipath if multipath else max_min_rates
+    return allocate(flows, capacities_of(topo))
+
+
+def ideal_throughput(matrix: TrafficMatrix, line_rate: float) -> dict[int, float]:
+    """Per-flow rates on an ideal non-blocking fabric.
+
+    Modelled as a star: every server's ``line_rate`` NIC feeds an
+    infinite-capacity core, so only sender and receiver NICs constrain
+    the allocation.
+    """
+    flows = []
+    caps: dict[tuple[str, str], float] = {}
+    for flow_id, (src, dst, demand) in enumerate(matrix):
+        path = (f"src:{src}", "core", f"dst:{dst}")
+        flows.append(Flow(flow_id=flow_id, paths=(WeightedPath(path, 1.0),), demand=demand))
+        caps[(f"src:{src}", "core")] = line_rate
+        caps[("core", f"dst:{dst}")] = line_rate
+    return max_min_rates(flows, caps)
+
+
+def evaluate(
+    topo: Topology,
+    router: Router,
+    matrix: TrafficMatrix,
+    line_rate: float,
+    multipath: bool = False,
+) -> ThroughputResult:
+    """Run a traffic matrix and normalize against the ideal fabric."""
+    achieved = achieved_throughput(topo, router, matrix, multipath=multipath)
+    ideal = ideal_throughput(matrix, line_rate)
+    return ThroughputResult(
+        aggregate_bps=sum(achieved.values()),
+        ideal_bps=sum(ideal.values()),
+        per_flow_bps=achieved,
+    )

@@ -1,0 +1,39 @@
+"""Routing engines: ECMP, VLB, spanning tree, k-shortest-paths, SPAIN."""
+
+from repro.routing.base import (
+    Path,
+    Router,
+    RoutingError,
+    WeightedPath,
+    stable_hash,
+)
+from repro.routing.ecmp import ECMPRouter
+from repro.routing.forwarding import (
+    ForwardingTable,
+    TableDrivenRouter,
+    compile_tables,
+    total_state,
+)
+from repro.routing.kshortest import KShortestPathsRouter
+from repro.routing.spain import SPAINRouter
+from repro.routing.spanning_tree import SpanningTreeRouter
+from repro.routing.vlb import AdaptiveVLBRouter, DemandAwareVLBRouter, VLBRouter
+
+__all__ = [
+    "AdaptiveVLBRouter",
+    "DemandAwareVLBRouter",
+    "ECMPRouter",
+    "ForwardingTable",
+    "TableDrivenRouter",
+    "compile_tables",
+    "total_state",
+    "KShortestPathsRouter",
+    "Path",
+    "Router",
+    "RoutingError",
+    "SPAINRouter",
+    "SpanningTreeRouter",
+    "VLBRouter",
+    "WeightedPath",
+    "stable_hash",
+]

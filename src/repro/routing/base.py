@@ -1,0 +1,82 @@
+"""Routing abstractions shared by the packet- and flow-level simulators.
+
+A :class:`Router` maps a (source server, destination server) pair to one
+or more node paths through a :class:`~repro.topology.base.Topology`.
+The packet simulator asks for a single path per flow (:meth:`route`);
+the flow-level simulator asks for the full weighted path set
+(:meth:`weighted_paths`) so it can split a flow's rate the way the
+routing protocol would.
+
+Path selection is deterministic: flows are spread across equal-cost
+paths by a stable hash of the flow key, so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from dataclasses import dataclass
+
+from repro.topology.base import Topology
+
+#: A path is the full node sequence, server to server.
+Path = tuple[str, ...]
+
+
+class RoutingError(ValueError):
+    """Raised when no path exists or a router is misconfigured."""
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 32-bit hash of the given parts.
+
+    Python's builtin ``hash`` is salted per process for strings; CRC32
+    over the repr keeps path selection reproducible across runs.
+    """
+    text = "\x00".join(repr(p) for p in parts)
+    return zlib.crc32(text.encode())
+
+
+@dataclass(frozen=True)
+class WeightedPath:
+    """A path with the fraction of the flow's traffic routed over it."""
+
+    path: Path
+    weight: float
+
+
+class Router(abc.ABC):
+    """Base class: path selection over a topology."""
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._cache: dict[tuple[str, str], list[Path]] = {}
+
+    # -- interface -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def paths(self, src: str, dst: str) -> list[Path]:
+        """All paths this router may use between two servers (stable order)."""
+
+    def route(self, src: str, dst: str, flow_id: int = 0) -> Path:
+        """The single path used by flow ``flow_id`` (hash-based pick)."""
+        options = self._cached_paths(src, dst)
+        return options[stable_hash(src, dst, flow_id) % len(options)]
+
+    def weighted_paths(self, src: str, dst: str) -> list[WeightedPath]:
+        """Paths with traffic split weights; defaults to an even ECMP split."""
+        options = self._cached_paths(src, dst)
+        share = 1.0 / len(options)
+        return [WeightedPath(path=p, weight=share) for p in options]
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _cached_paths(self, src: str, dst: str) -> list[Path]:
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.paths(src, dst)
+            if not cached:
+                raise RoutingError(f"no path from {src!r} to {dst!r}")
+            self._cache[key] = cached
+        return cached

@@ -1,0 +1,34 @@
+"""Equal-cost multi-path routing.
+
+The paper's default for Quartz meshes (Section 3.4): since a full mesh
+has a single shortest switch path between any ToR pair, ECMP always
+selects the direct one-hop channel, minimizing hop count and isolation
+from cross-traffic.  In multi-rooted trees ECMP spreads flows over the
+equal-cost up/down paths.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.routing.base import Path, Router
+from repro.topology.base import Topology
+
+
+class ECMPRouter(Router):
+    """All-shortest-paths routing with per-flow hashing.
+
+    ``max_paths`` bounds the equal-cost set (hardware ECMP tables are
+    finite); paths are kept in deterministic (lexicographic) order.
+    """
+
+    def __init__(self, topo: Topology, max_paths: int = 64) -> None:
+        super().__init__(topo)
+        if max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+        self.max_paths = max_paths
+
+    def paths(self, src: str, dst: str) -> list[Path]:
+        found = nx.all_shortest_paths(self.topo.graph, src, dst)
+        paths = sorted(tuple(p) for p in found)
+        return paths[: self.max_paths]

@@ -1,0 +1,130 @@
+"""Per-switch forwarding state — paper Section 3.4.
+
+The paper integrates Quartz into "link layer addressing and routing":
+real switches forward hop-by-hop from local tables, not from source
+routes.  This module compiles any :class:`~repro.routing.base.Router`'s
+path set into per-switch tables (aggregated by destination *rack*, the
+way L2/ECMP hardware aggregates by prefix), reports the resulting state
+size, and provides a :class:`TableDrivenRouter` that forwards from the
+compiled tables — letting tests assert that distributed forwarding
+reproduces the centrally computed paths and that a Quartz mesh needs
+only ``M − 1`` entries per switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.base import Path, Router, RoutingError, stable_hash
+from repro.topology.base import Topology
+
+
+@dataclass
+class ForwardingTable:
+    """One switch's next-hop entries, keyed by destination rack."""
+
+    switch: str
+    #: destination rack → next-hop nodes (ECMP set, deterministic order)
+    entries: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of (rack, next-hop) entries — the TCAM footprint."""
+        return sum(len(hops) for hops in self.entries.values())
+
+    def next_hops(self, rack: int) -> tuple[str, ...]:
+        hops = self.entries.get(rack)
+        if not hops:
+            raise RoutingError(f"{self.switch!r} has no route to rack {rack}")
+        return hops
+
+
+def compile_tables(topo: Topology, router: Router) -> dict[str, ForwardingTable]:
+    """Compile a router's path set into per-switch forwarding tables.
+
+    Walks every server-pair path the router exposes and records, at each
+    intermediate switch, the next hop toward the destination's rack.
+    Paths that relay through servers (BCube/DCell) are rejected — table
+    compilation models switch-forwarded fabrics.
+    """
+    tables: dict[str, ForwardingTable] = {
+        switch: ForwardingTable(switch) for switch in topo.switches()
+    }
+    staging: dict[str, dict[int, set[str]]] = {s: {} for s in topo.switches()}
+    servers = topo.servers()
+    for src in servers:
+        for dst in servers:
+            if src == dst or topo.rack(dst) is None:
+                continue
+            dst_rack = topo.rack(dst)
+            for path in router.paths(src, dst):
+                for i, node in enumerate(path[1:-1], start=1):
+                    if topo.is_server(node):
+                        raise RoutingError(
+                            "cannot compile tables for server-relayed paths"
+                        )
+                    next_hop = path[i + 1]
+                    if next_hop == dst:
+                        continue  # local delivery at the destination ToR
+                    staging[node].setdefault(dst_rack, set()).add(next_hop)
+    for switch, racks in staging.items():
+        tables[switch].entries = {
+            rack: tuple(sorted(hops)) for rack, hops in sorted(racks.items())
+        }
+    return tables
+
+
+def total_state(tables: dict[str, ForwardingTable]) -> int:
+    """Aggregate entry count across all switches."""
+    return sum(t.size for t in tables.values())
+
+
+class TableDrivenRouter(Router):
+    """Forwards hop-by-hop from compiled tables.
+
+    Each hop picks among the table's ECMP set by a stable hash of the
+    flow key, mimicking hardware ECMP.  A hop-count guard catches
+    forwarding loops (a miscompiled table raises instead of spinning).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        tables: dict[str, ForwardingTable],
+        max_hops: int = 16,
+    ) -> None:
+        super().__init__(topo)
+        self.tables = tables
+        self.max_hops = max_hops
+
+    def paths(self, src: str, dst: str) -> list[Path]:
+        # The table walk is per-flow; expose the flow-0 path as the
+        # canonical single path (route() overrides per-flow anyway).
+        return [self._walk(src, dst, flow_id=0)]
+
+    def route(self, src: str, dst: str, flow_id: int = 0) -> Path:
+        return self._walk(src, dst, flow_id)
+
+    def _walk(self, src: str, dst: str, flow_id: int) -> Path:
+        dst_rack = self.topo.rack(dst)
+        if dst_rack is None:
+            raise RoutingError(f"destination {dst!r} has no rack")
+        path = [src]
+        current = self.topo.tor_of(src)
+        path.append(current)
+        hops = 0
+        while self.topo.rack(current) != dst_rack:
+            table = self.tables.get(current)
+            if table is None:
+                raise RoutingError(f"no table for switch {current!r}")
+            options = table.next_hops(dst_rack)
+            current = options[stable_hash(src, dst, flow_id, hops) % len(options)]
+            path.append(current)
+            hops += 1
+            if hops > self.max_hops:
+                raise RoutingError(
+                    f"forwarding loop: {src!r} → {dst!r} exceeded "
+                    f"{self.max_hops} hops"
+                )
+        path.append(dst)
+        return tuple(path)

@@ -1,0 +1,61 @@
+"""SPAIN-style multi-VLAN path exposure (Mudigonda et al., NSDI 2010).
+
+The paper's prototype (Section 6) uses SPAIN's technique to let the
+*application* pick among paths on commodity Ethernet: one VLAN per
+spanning tree, each tree rooted at a different switch, exposed to the
+host as separate virtual interfaces.  An application selects the direct
+two-hop path or a specific indirect three-hop path by choosing the
+virtual interface (= VLAN = tree).
+
+:class:`SPAINRouter` reproduces this: it maintains one
+:class:`~repro.routing.spanning_tree.SpanningTreeRouter` per VLAN and
+routes each flow on the VLAN the caller names.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import Path, Router, RoutingError
+from repro.routing.spanning_tree import SpanningTreeRouter
+from repro.topology.base import Topology
+
+
+class SPAINRouter(Router):
+    """One spanning tree per VLAN; the caller picks the VLAN per flow.
+
+    ``roots`` defaults to every switch in the topology — the prototype's
+    "spanning trees for the VLANs are rooted at different switches".
+    """
+
+    def __init__(self, topo: Topology, roots: list[str] | None = None) -> None:
+        super().__init__(topo)
+        if roots is None:
+            roots = topo.switches()
+        if not roots:
+            raise RoutingError("need at least one VLAN root")
+        self.vlans = [SpanningTreeRouter(topo, root=root) for root in roots]
+
+    @property
+    def num_vlans(self) -> int:
+        return len(self.vlans)
+
+    def paths(self, src: str, dst: str) -> list[Path]:
+        """The distinct paths reachable across all VLANs (stable order)."""
+        seen: dict[Path, None] = {}
+        for vlan in self.vlans:
+            seen.setdefault(vlan.paths(src, dst)[0], None)
+        return list(seen)
+
+    def route_on_vlan(self, src: str, dst: str, vlan: int) -> Path:
+        """The path flow traffic takes when sent on virtual interface ``vlan``."""
+        if not 0 <= vlan < len(self.vlans):
+            raise RoutingError(f"VLAN {vlan} out of range 0..{len(self.vlans) - 1}")
+        return self.vlans[vlan].paths(src, dst)[0]
+
+    def best_vlan(self, src: str, dst: str) -> int:
+        """The VLAN giving the fewest-hop path (the app's 'direct' pick)."""
+        best_vlan, best_len = 0, float("inf")
+        for index, vlan in enumerate(self.vlans):
+            length = len(vlan.paths(src, dst)[0])
+            if length < best_len:
+                best_vlan, best_len = index, length
+        return best_vlan

@@ -1,0 +1,44 @@
+"""Single-spanning-tree (classic Ethernet) routing.
+
+The naïve L2 baseline the paper dismisses in Section 3.4: Ethernet
+builds one spanning tree, so only a small fraction of a mesh's links
+carry traffic.  Included as a baseline and as the building block of the
+SPAIN-style multi-tree router used in the prototype experiment.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.routing.base import Path, Router, RoutingError
+from repro.topology.base import Topology
+
+
+class SpanningTreeRouter(Router):
+    """Routes every flow along one BFS spanning tree.
+
+    ``root`` defaults to the first switch (deterministic); in real
+    Ethernet the highest-priority bridge wins the root election.
+    """
+
+    def __init__(self, topo: Topology, root: str | None = None) -> None:
+        super().__init__(topo)
+        switches = topo.switches()
+        if not switches:
+            raise RoutingError("topology has no switches")
+        self.root = root if root is not None else switches[0]
+        if self.root not in topo.graph:
+            raise RoutingError(f"unknown root {self.root!r}")
+        # BFS tree over switches only, then hang the servers off their
+        # access switches (servers are leaves by construction).
+        switch_tree = nx.bfs_tree(topo.switch_graph(), self.root).to_undirected()
+        self.tree = nx.Graph(switch_tree)
+        for server in topo.servers():
+            for neighbor in topo.graph.neighbors(server):
+                self.tree.add_edge(server, neighbor)
+
+    def paths(self, src: str, dst: str) -> list[Path]:
+        try:
+            return [tuple(nx.shortest_path(self.tree, src, dst))]
+        except nx.NetworkXNoPath as exc:
+            raise RoutingError(f"no tree path {src!r} → {dst!r}") from exc

@@ -1,0 +1,68 @@
+"""Packet-level discrete-event network simulator.
+
+The paper evaluates Quartz with "our own packet-level discrete event
+network simulator that we tailored to our specific requirements" and
+validates it against queueing theory (Section 7).  This package is that
+simulator: deterministic event engine, Table 16 switch models
+(store-and-forward vs cut-through), output-queued ports, and the traffic
+sources used in Sections 6 and 7.
+"""
+
+from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.network import (
+    DEFAULT_PROPAGATION_DELAY,
+    DEFAULT_SERVER_FORWARD_LATENCY,
+    Network,
+    NetworkSimError,
+    Packet,
+)
+from repro.sim.sources import (
+    DEFAULT_PACKET_BYTES,
+    BurstSource,
+    PoissonSource,
+    RPCSource,
+    SourceError,
+    poisson_pair_sources,
+)
+from repro.sim.stats import LatencyRecorder, LatencySummary, summarize_latencies
+from repro.sim.switch import CCS, MODELS, SF_1G, SwitchModel, ULL, get_model, register_model
+from repro.sim.transport import ACK_BYTES, TCPFlow, TransportError, bulk_tcp_flows
+from repro.sim.trace import (
+    LatencyBreakdown,
+    TracingNetwork,
+    format_breakdown,
+)
+
+__all__ = [
+    "BurstSource",
+    "CCS",
+    "DEFAULT_PACKET_BYTES",
+    "DEFAULT_PROPAGATION_DELAY",
+    "DEFAULT_SERVER_FORWARD_LATENCY",
+    "Engine",
+    "Event",
+    "LatencyBreakdown",
+    "LatencyRecorder",
+    "LatencySummary",
+    "TracingNetwork",
+    "format_breakdown",
+    "MODELS",
+    "Network",
+    "NetworkSimError",
+    "Packet",
+    "PoissonSource",
+    "RPCSource",
+    "SF_1G",
+    "SimulationError",
+    "SourceError",
+    "TCPFlow",
+    "TransportError",
+    "ACK_BYTES",
+    "SwitchModel",
+    "bulk_tcp_flows",
+    "ULL",
+    "get_model",
+    "poisson_pair_sources",
+    "register_model",
+    "summarize_latencies",
+]

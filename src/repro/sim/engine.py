@@ -1,0 +1,96 @@
+"""Deterministic discrete-event engine.
+
+A minimal, fast event loop: events are ``(time, sequence, callback)``
+triples in a binary heap.  The sequence number makes simultaneous
+events fire in scheduling order, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling operations."""
+
+
+class Event:
+    """A scheduled callback; cancel with :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., None], args: tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (lazy removal from the heap)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """The event loop.  Time starts at 0.0 seconds."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of sim time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute sim time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the heap empties, ``until`` passes, or
+        ``max_events`` have fired.
+
+        Advances ``now`` to ``until`` at the end when a horizon is given,
+        even if the heap drained earlier.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                return
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            processed += 1
+            self.events_processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)

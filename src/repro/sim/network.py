@@ -1,0 +1,236 @@
+"""Packet-level network simulation over a :class:`~repro.topology.base.Topology`.
+
+The model, per forwarding hop:
+
+* every directed link ``(u, v)`` has one **output port** at ``u`` with an
+  unbounded FIFO queue, modelled as a ``busy_until`` timestamp — a packet
+  occupies the port for its serialization time;
+* a **store-and-forward** switch may begin transmitting a packet
+  ``switch.latency`` after the packet's tail arrives;
+* a **cut-through** switch may begin ``switch.latency`` after the header
+  arrives — modelled as ``tail_arrival − min(ser_in, ser_out) +
+  latency``, which both credits the cut-through savings and guarantees
+  the output never outruns the input when link rates differ;
+* servers relaying packets (BCube/DCell) behave like store-and-forward
+  devices with the OS-stack forwarding latency (Table 2: ~15 µs);
+* the destination server records the packet's end-to-end latency when
+  the tail arrives (plus an optional receive-side host-stack latency).
+
+Buffers are unbounded: congestion shows up as queueing delay, exactly
+how the paper reports it (e.g. the "unbounded" latency growth past
+saturation in Figure 20).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.routing.base import Path, Router
+from repro.sim.engine import Engine
+from repro.sim.stats import LatencyRecorder
+from repro.sim.switch import SwitchModel, get_model
+from repro.topology.base import Topology
+from repro.units import MICROSECONDS, NANOSECONDS, serialization_delay
+
+#: OS network-stack forwarding latency charged to server relays
+#: (paper Table 2, "OS Network Stack": 15 µs standard).
+DEFAULT_SERVER_FORWARD_LATENCY = 15 * MICROSECONDS
+
+#: Intra-datacenter propagation delay per hop (~20 m of fibre).
+DEFAULT_PROPAGATION_DELAY = 100 * NANOSECONDS
+
+
+class NetworkSimError(RuntimeError):
+    """Raised for invalid send requests or malformed paths."""
+
+
+@dataclass
+class Packet:
+    """One simulated packet in flight."""
+
+    packet_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    path: Path
+    created_at: float
+    group: str | None = None
+    on_delivered: Callable[["Packet", float], None] | None = None
+    hop: int = 0  # index into path of the node the packet currently sits at
+    delivered_at: float | None = None
+
+    @property
+    def latency(self) -> float:
+        if self.delivered_at is None:
+            raise NetworkSimError(f"packet {self.packet_id} not delivered yet")
+        return self.delivered_at - self.created_at
+
+
+@dataclass
+class PortState:
+    """Transmission state of one directed link's output port."""
+
+    busy_until: float = 0.0
+    packets_sent: int = 0
+    bytes_sent: float = field(default=0.0)
+    packets_dropped: int = 0
+
+
+class Network:
+    """Executable network: topology + router + event engine."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        router: Router,
+        engine: Engine | None = None,
+        propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
+        server_forward_latency: float = DEFAULT_SERVER_FORWARD_LATENCY,
+        host_receive_latency: float = 0.0,
+        buffer_bytes: float | None = None,
+    ) -> None:
+        """``buffer_bytes`` bounds each output port's queue: a packet
+        arriving to a port whose backlog would exceed the buffer is
+        tail-dropped (counted in ``packets_dropped``).  ``None`` keeps
+        the paper's unbounded-queue model, where congestion appears
+        purely as delay."""
+        if buffer_bytes is not None and buffer_bytes <= 0:
+            raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
+        self.topo = topo
+        self.router = router
+        self.engine = engine if engine is not None else Engine()
+        self.propagation_delay = propagation_delay
+        self.server_forward_latency = server_forward_latency
+        self.host_receive_latency = host_receive_latency
+        self.buffer_bytes = buffer_bytes
+        self.stats = LatencyRecorder()
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self._packet_ids = itertools.count()
+        self._ports: dict[tuple[str, str], PortState] = {}
+        self._capacity: dict[tuple[str, str], float] = {}
+        for link in topo.links():
+            self._capacity[(link.u, link.v)] = link.capacity
+            self._capacity[(link.v, link.u)] = link.capacity
+        self._switch_models: dict[str, SwitchModel] = {}
+        for switch in topo.switches():
+            self._switch_models[switch] = get_model(topo.switch_model(switch) or "ULL")
+
+    # -- injection ------------------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        flow_id: int = 0,
+        group: str | None = None,
+        path: Path | None = None,
+        on_delivered: Callable[[Packet, float], None] | None = None,
+    ) -> Packet:
+        """Inject one packet at ``src`` addressed to ``dst``, now.
+
+        The path comes from the router (keyed by ``flow_id``) unless an
+        explicit ``path`` is supplied (e.g. SPAIN VLAN selection).
+        """
+        if size_bytes <= 0:
+            raise NetworkSimError(f"packet size must be positive, got {size_bytes}")
+        route = path if path is not None else self.router.route(src, dst, flow_id)
+        if route[0] != src or route[-1] != dst:
+            raise NetworkSimError(f"path {route} does not join {src!r} → {dst!r}")
+        packet = Packet(
+            packet_id=next(self._packet_ids),
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            path=route,
+            created_at=self.engine.now,
+            group=group,
+            on_delivered=on_delivered,
+        )
+        self._transmit(packet, earliest_start=self.engine.now)
+        return packet
+
+    # -- forwarding ----------------------------------------------------------------
+
+    def _transmit(self, packet: Packet, earliest_start: float) -> None:
+        """Clock the packet onto the output port toward its next hop."""
+        node = packet.path[packet.hop]
+        next_node = packet.path[packet.hop + 1]
+        key = (node, next_node)
+        capacity = self._capacity.get(key)
+        if capacity is None:
+            raise NetworkSimError(f"no link {node!r} → {next_node!r} on path")
+        port = self._ports.get(key)
+        if port is None:
+            port = self._ports[key] = PortState()
+        ser = serialization_delay(packet.size_bytes, capacity)
+        if self.buffer_bytes is not None:
+            # Bytes still queued ahead of this packet when it reaches the
+            # port: the time the port stays busy past the packet's
+            # arrival, clocked out at link rate.
+            backlog_seconds = max(0.0, port.busy_until - max(earliest_start, self.engine.now))
+            backlog_bytes = backlog_seconds * capacity / 8.0
+            if backlog_bytes + packet.size_bytes > self.buffer_bytes:
+                port.packets_dropped += 1
+                self.packets_dropped += 1
+                return
+        start = max(earliest_start, port.busy_until)
+        tail_out = start + ser
+        port.busy_until = tail_out
+        port.packets_sent += 1
+        port.bytes_sent += packet.size_bytes
+        self.engine.schedule_at(
+            tail_out + self.propagation_delay, self._arrive, packet
+        )
+
+    def _arrive(self, packet: Packet) -> None:
+        """Tail of ``packet`` arrived at the next node on its path."""
+        packet.hop += 1
+        node = packet.path[packet.hop]
+        now = self.engine.now
+
+        if packet.hop == len(packet.path) - 1:
+            packet.delivered_at = now + self.host_receive_latency
+            self.packets_delivered += 1
+            self.stats.record(packet.latency, group=packet.group)
+            if packet.on_delivered is not None:
+                packet.on_delivered(packet, packet.delivered_at)
+            return
+
+        if self.topo.is_server(node):
+            # Server relay (server-centric topologies): OS-stack
+            # store-and-forward.
+            self._transmit(packet, earliest_start=now + self.server_forward_latency)
+            return
+
+        model = self._switch_models[node]
+        if model.cut_through:
+            prev_node = packet.path[packet.hop - 1]
+            next_node = packet.path[packet.hop + 1]
+            ser_in = serialization_delay(
+                packet.size_bytes, self._capacity[(prev_node, node)]
+            )
+            ser_out = serialization_delay(
+                packet.size_bytes, self._capacity[(node, next_node)]
+            )
+            earliest = now - min(ser_in, ser_out) + model.latency
+        else:
+            earliest = now + model.latency
+        self._transmit(packet, earliest_start=earliest)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def port_utilization(self, u: str, v: str, horizon: float) -> float:
+        """Fraction of ``horizon`` the port ``u → v`` spent transmitting."""
+        port = self._ports.get((u, v))
+        if port is None or horizon <= 0:
+            return 0.0
+        capacity = self._capacity[(u, v)]
+        return min(1.0, (port.bytes_sent * 8 / capacity) / horizon)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Convenience: run the underlying engine."""
+        self.engine.run(until=until, max_events=max_events)

@@ -1,0 +1,278 @@
+"""Traffic sources for the packet-level simulator.
+
+Three source types cover every workload in the paper's evaluation:
+
+* :class:`PoissonSource` — Section 7's model: servers send 400-byte
+  packets according to a Poisson process.
+* :class:`BurstSource` — Section 6.1's cross-traffic: fixed-size packet
+  bursts separated by idle intervals sized to hit a target bandwidth.
+* :class:`RPCSource` — Section 6.1's latency probe: a closed-loop
+  request/response ping-pong ("Hello World" RPC), one call at a time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.sim.network import Network, Packet
+from repro.units import BITS_PER_BYTE
+
+#: Packet size used throughout the paper's simulations (Section 7).
+DEFAULT_PACKET_BYTES = 400
+
+
+class SourceError(ValueError):
+    """Raised for invalid traffic-source configurations."""
+
+
+class PoissonSource:
+    """Sends fixed-size packets with exponential inter-arrival times.
+
+    ``dst`` may be a single server or a sequence; with a sequence each
+    packet goes to an independently, uniformly sampled destination.
+
+    ``vary_flow_per_packet`` gives each packet a distinct flow id, so
+    multipath routers (VLB) spread the stream packet-by-packet rather
+    than pinning it to one path — the granularity the paper's VLB needs
+    when a handful of heavy flows share one channel (Section 7.2).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str | Sequence[str],
+        rate_pps: float,
+        size_bytes: float = DEFAULT_PACKET_BYTES,
+        group: str | None = None,
+        flow_id: int = 0,
+        seed: int = 0,
+        stop_at: float | None = None,
+        vary_flow_per_packet: bool = False,
+    ) -> None:
+        if rate_pps <= 0:
+            raise SourceError(f"rate must be positive, got {rate_pps}")
+        self.network = network
+        self.src = src
+        self._dsts = [dst] if isinstance(dst, str) else list(dst)
+        if not self._dsts:
+            raise SourceError("need at least one destination")
+        self.rate_pps = rate_pps
+        self.size_bytes = size_bytes
+        self.group = group
+        self.flow_id = flow_id
+        self.stop_at = stop_at
+        self.vary_flow_per_packet = vary_flow_per_packet
+        self.packets_sent = 0
+        self._rng = random.Random(seed)
+        self._running = False
+
+    @classmethod
+    def at_bandwidth(
+        cls,
+        network: Network,
+        src: str,
+        dst: str | Sequence[str],
+        bandwidth_bps: float,
+        size_bytes: float = DEFAULT_PACKET_BYTES,
+        **kwargs: object,
+    ) -> "PoissonSource":
+        """Convenience constructor: packet rate from a target bandwidth."""
+        rate = bandwidth_bps / (size_bytes * BITS_PER_BYTE)
+        return cls(network, src, dst, rate_pps=rate, size_bytes=size_bytes, **kwargs)  # type: ignore[arg-type]
+
+    def start(self, delay: float = 0.0) -> None:
+        if self._running:
+            raise SourceError("source already started")
+        self._running = True
+        self.network.engine.schedule(delay + self._next_gap(), self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _next_gap(self) -> float:
+        return self._rng.expovariate(self.rate_pps)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        now = self.network.engine.now
+        if self.stop_at is not None and now >= self.stop_at:
+            self._running = False
+            return
+        dst = self._dsts[0] if len(self._dsts) == 1 else self._rng.choice(self._dsts)
+        flow = self.flow_id
+        if self.vary_flow_per_packet:
+            flow = self.flow_id * 1_000_003 + self.packets_sent
+        self.network.send(
+            self.src, dst, self.size_bytes, flow_id=flow, group=self.group
+        )
+        self.packets_sent += 1
+        self.network.engine.schedule(self._next_gap(), self._fire)
+
+
+class BurstSource:
+    """Back-to-back packet bursts separated by idle gaps.
+
+    Reproduces the prototype's Nuttcp cross-traffic: "20 packet bursts
+    that are separated by idle intervals, the duration of which is
+    selected to meet a target bandwidth" (Section 6.1).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        target_bandwidth_bps: float,
+        burst_packets: int = 20,
+        size_bytes: float = 1500,
+        group: str | None = None,
+        flow_id: int = 0,
+        seed: int = 0,
+        stop_at: float | None = None,
+    ) -> None:
+        if target_bandwidth_bps <= 0:
+            raise SourceError("target bandwidth must be positive")
+        if burst_packets < 1:
+            raise SourceError("burst must contain at least one packet")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.burst_packets = burst_packets
+        self.size_bytes = size_bytes
+        self.group = group
+        self.flow_id = flow_id
+        self.stop_at = stop_at
+        self.packets_sent = 0
+        burst_bits = burst_packets * size_bytes * BITS_PER_BYTE
+        #: Time from the start of one burst to the start of the next.
+        self.burst_interval = burst_bits / target_bandwidth_bps
+        self._rng = random.Random(seed)
+        self._running = False
+
+    def start(self, delay: float | None = None) -> None:
+        """Begin bursting; ``delay`` defaults to a random phase within one
+        interval so concurrent sources are unsynchronized (as in the paper)."""
+        if self._running:
+            raise SourceError("source already started")
+        self._running = True
+        phase = self._rng.uniform(0, self.burst_interval) if delay is None else delay
+        self.network.engine.schedule(phase, self._fire_burst)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _fire_burst(self) -> None:
+        if not self._running:
+            return
+        now = self.network.engine.now
+        if self.stop_at is not None and now >= self.stop_at:
+            self._running = False
+            return
+        for _ in range(self.burst_packets):
+            self.network.send(
+                self.src, self.dst, self.size_bytes, flow_id=self.flow_id, group=self.group
+            )
+            self.packets_sent += 1
+        self.network.engine.schedule(self.burst_interval, self._fire_burst)
+
+
+class RPCSource:
+    """Closed-loop request/response pairs; records full round-trip times.
+
+    The destination replies as soon as the request is delivered (plus
+    ``server_think_time``); the next call is issued when the response
+    lands.  Round-trip latencies go to ``network.stats`` under
+    ``group`` — per-leg packet latencies are not recorded, matching how
+    the prototype measures RPC latency.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        client: str,
+        server: str,
+        num_calls: int = 1000,
+        request_bytes: float = 200,
+        response_bytes: float = 200,
+        server_think_time: float = 0.0,
+        group: str = "rpc",
+        flow_id: int = 0,
+    ) -> None:
+        if num_calls < 1:
+            raise SourceError("need at least one RPC call")
+        self.network = network
+        self.client = client
+        self.server = server
+        self.num_calls = num_calls
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.server_think_time = server_think_time
+        self.group = group
+        self.flow_id = flow_id
+        self.completed = 0
+        self.rtts: list[float] = []
+        self._call_started = 0.0
+
+    def start(self, delay: float = 0.0) -> None:
+        self.network.engine.schedule(delay, self._issue_call)
+
+    def _issue_call(self) -> None:
+        self._call_started = self.network.engine.now
+        self.network.send(
+            self.client,
+            self.server,
+            self.request_bytes,
+            flow_id=self.flow_id,
+            on_delivered=self._request_delivered,
+        )
+
+    def _request_delivered(self, _packet: Packet, _when: float) -> None:
+        self.network.engine.schedule(self.server_think_time, self._send_response)
+
+    def _send_response(self) -> None:
+        self.network.send(
+            self.server,
+            self.client,
+            self.response_bytes,
+            flow_id=self.flow_id,
+            on_delivered=self._response_delivered,
+        )
+
+    def _response_delivered(self, _packet: Packet, when: float) -> None:
+        rtt = when - self._call_started
+        self.rtts.append(rtt)
+        self.network.stats.record(rtt, group=self.group)
+        self.completed += 1
+        if self.completed < self.num_calls:
+            self._issue_call()
+
+
+def poisson_pair_sources(
+    network: Network,
+    pairs: list[tuple[str, str]],
+    per_pair_bandwidth_bps: float,
+    size_bytes: float = DEFAULT_PACKET_BYTES,
+    group: str | None = None,
+    seed: int = 0,
+    make_flow_id: Callable[[int], int] | None = None,
+) -> list[PoissonSource]:
+    """One Poisson stream per (src, dst) pair — the paper's task model."""
+    sources = []
+    for index, (src, dst) in enumerate(pairs):
+        flow_id = index if make_flow_id is None else make_flow_id(index)
+        sources.append(
+            PoissonSource.at_bandwidth(
+                network,
+                src,
+                dst,
+                per_pair_bandwidth_bps,
+                size_bytes=size_bytes,
+                group=group,
+                flow_id=flow_id,
+                seed=seed + index,
+            )
+        )
+    return sources

@@ -1,0 +1,87 @@
+"""Latency statistics collection for simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a set of packet latencies (seconds)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95 % confidence interval."""
+        if self.count < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.count)
+
+
+def summarize_latencies(samples: list[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary`; raises on an empty sample set."""
+    if not samples:
+        raise ValueError("no latency samples recorded")
+    ordered = sorted(samples)
+    n = len(ordered)
+    mean = math.fsum(ordered) / n
+    variance = math.fsum((x - mean) ** 2 for x in ordered) / (n - 1) if n > 1 else 0.0
+    return LatencySummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
+    )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-packet delivery latencies, grouped by flow label."""
+
+    samples: list[float] = field(default_factory=list)
+    by_group: dict[str, list[float]] = field(default_factory=dict)
+
+    def record(self, latency: float, group: str | None = None) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.samples.append(latency)
+        if group is not None:
+            self.by_group.setdefault(group, []).append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def summary(self, group: str | None = None) -> LatencySummary:
+        """Summary over all samples, or one group's samples."""
+        if group is None:
+            return summarize_latencies(self.samples)
+        return summarize_latencies(self.by_group.get(group, []))
+
+    def groups(self) -> list[str]:
+        return sorted(self.by_group)
+
+    def clear(self) -> None:
+        self.samples.clear()
+        self.by_group.clear()

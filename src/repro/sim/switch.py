@@ -1,0 +1,69 @@
+"""Switch hardware models — paper Table 16.
+
+Two devices anchor the paper's simulations:
+
+* **CCS** — Cisco Nexus 7000 class core switch: store-and-forward,
+  6 µs switching latency, 768 × 10 Gbps or 192 × 40 Gbps ports.
+* **ULL** — Arista 7150S-64 class ultra-low-latency switch:
+  cut-through, 380 ns switching latency, 64 × 10 Gbps or 16 × 40 Gbps.
+
+A store-and-forward switch must receive the entire frame before
+forwarding; a cut-through switch starts transmitting once the header has
+arrived, so it does not pay the full serialization delay per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MICROSECONDS, NANOSECONDS
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Forwarding behaviour of one switch type."""
+
+    name: str
+    latency: float  # seconds, header-in to header-out processing delay
+    cut_through: bool
+    ports_10g: int
+    ports_40g: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"switch latency must be non-negative, got {self.latency}")
+
+
+#: Arista 7150S-64 (paper Table 16).
+ULL = SwitchModel(
+    name="ULL", latency=380 * NANOSECONDS, cut_through=True, ports_10g=64, ports_40g=16
+)
+
+#: Cisco Nexus 7000 (paper Table 16).
+CCS = SwitchModel(
+    name="CCS", latency=6 * MICROSECONDS, cut_through=False, ports_10g=768, ports_40g=192
+)
+
+#: Cisco Catalyst 4948-class managed 1G store-and-forward switch — the
+#: prototype's hardware (Section 6); 6 µs per Table 2's "Switch" row.
+SF_1G = SwitchModel(
+    name="SF_1G", latency=6 * MICROSECONDS, cut_through=False, ports_10g=48, ports_40g=0
+)
+
+#: Registry used by the network builder to resolve node ``switch_model`` names.
+MODELS: dict[str, SwitchModel] = {m.name: m for m in (ULL, CCS, SF_1G)}
+
+
+def get_model(name: str) -> SwitchModel:
+    """Look up a registered switch model by name."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown switch model {name!r}; registered: {sorted(MODELS)}"
+        ) from None
+
+
+def register_model(model: SwitchModel) -> None:
+    """Add a custom switch model to the registry (idempotent by name)."""
+    MODELS[model.name] = model

@@ -1,0 +1,169 @@
+"""Per-packet latency decomposition.
+
+The paper reasons about latency as a sum of components (Table 2:
+stack/NIC/switch/congestion).  :class:`TracingNetwork` extends the
+packet simulator to attribute every microsecond of a packet's delivery
+time to one of four buckets:
+
+* **serialization** — clocking bits onto links;
+* **switching** — switch (and server-relay) processing latency;
+* **queueing** — waiting for busy output ports;
+* **propagation** — time on the fibre.
+
+Used to explain *why* one topology beats another: e.g. the three-tier
+tree's budget is dominated by the CCS core's switching latency while a
+congested tree shifts toward queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.base import Router
+from repro.sim.engine import Engine
+from repro.sim.network import Network, Packet
+from repro.topology.base import Topology
+from repro.units import serialization_delay
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """A packet's (or aggregate) latency split into components."""
+
+    serialization: float
+    switching: float
+    queueing: float
+    propagation: float
+
+    @property
+    def total(self) -> float:
+        return self.serialization + self.switching + self.queueing + self.propagation
+
+    def __add__(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            serialization=self.serialization + other.serialization,
+            switching=self.switching + other.switching,
+            queueing=self.queueing + other.queueing,
+            propagation=self.propagation + other.propagation,
+        )
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            serialization=self.serialization * factor,
+            switching=self.switching * factor,
+            queueing=self.queueing * factor,
+            propagation=self.propagation * factor,
+        )
+
+
+ZERO_BREAKDOWN = LatencyBreakdown(0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass
+class _PacketLedger:
+    serialization: float = 0.0
+    switching: float = 0.0
+    queueing: float = 0.0
+    propagation: float = 0.0
+
+
+class TracingNetwork(Network):
+    """A :class:`~repro.sim.network.Network` that attributes latency.
+
+    Semantics are identical to the base network (same event timing);
+    only bookkeeping is added:
+
+    * each port transmission adds its serialization time, plus any gap
+      between the packet's earliest-possible start and its actual start
+      as queueing;
+    * switch latency (and server-relay latency) is charged as switching;
+    * every hop adds one propagation delay.
+
+    For cut-through hops the earliest start precedes the tail arrival,
+    overlapping output serialization with input reception — that overlap
+    is *credited against* serialization so the components still sum to
+    the measured end-to-end latency.
+    """
+
+    def __init__(
+        self, topo: Topology, router: Router, engine: Engine | None = None, **kwargs
+    ) -> None:
+        super().__init__(topo, router, engine=engine, **kwargs)
+        self._ledgers: dict[int, _PacketLedger] = {}
+        self._pending_switch: dict[int, float] = {}
+        self.breakdowns: dict[int, LatencyBreakdown] = {}
+        self.breakdowns_by_group: dict[str, list[LatencyBreakdown]] = {}
+
+    # -- bookkeeping hooks --------------------------------------------------------
+
+    def _transmit(self, packet: Packet, earliest_start: float) -> None:
+        ledger = self._ledgers.setdefault(packet.packet_id, _PacketLedger())
+        node = packet.path[packet.hop]
+        next_node = packet.path[packet.hop + 1]
+        capacity = self._capacity[(node, next_node)]
+        ser = serialization_delay(packet.size_bytes, capacity)
+        port = self._ports.get((node, next_node))
+        busy_until = port.busy_until if port is not None else 0.0
+        now = self.engine.now
+        # Switching latency charged for this hop (0 for the host send).
+        switching = self._pending_switch.pop(packet.packet_id, 0.0)
+        ledger.switching += switching
+        # A store-and-forward hop starts no earlier than now + switching;
+        # how far cut-through pulls the start earlier is the overlap of
+        # output serialization with input reception — credited against
+        # serialization so components sum to the measured latency.
+        credit = max(0.0, (now + switching) - earliest_start)
+        ledger.queueing += max(0.0, busy_until - earliest_start)
+        ledger.serialization += ser - min(credit, ser)
+        ledger.propagation += self.propagation_delay
+        super()._transmit(packet, earliest_start)
+
+    def _arrive(self, packet: Packet) -> None:
+        next_hop = packet.hop + 1
+        node = packet.path[next_hop]
+        if next_hop < len(packet.path) - 1:
+            if self.topo.is_server(node):
+                self._pending_switch[packet.packet_id] = self.server_forward_latency
+            else:
+                self._pending_switch[packet.packet_id] = self._switch_models[
+                    node
+                ].latency
+        was_delivered = self.packets_delivered
+        super()._arrive(packet)
+        if self.packets_delivered > was_delivered:
+            ledger = self._ledgers.pop(packet.packet_id, _PacketLedger())
+            breakdown = LatencyBreakdown(
+                serialization=ledger.serialization,
+                switching=ledger.switching,
+                queueing=ledger.queueing,
+                propagation=ledger.propagation,
+            )
+            self.breakdowns[packet.packet_id] = breakdown
+            if packet.group is not None:
+                self.breakdowns_by_group.setdefault(packet.group, []).append(breakdown)
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def mean_breakdown(self, group: str | None = None) -> LatencyBreakdown:
+        """Average component breakdown over delivered packets."""
+        if group is None:
+            pool = list(self.breakdowns.values())
+        else:
+            pool = self.breakdowns_by_group.get(group, [])
+        if not pool:
+            raise ValueError("no delivered packets to aggregate")
+        total = ZERO_BREAKDOWN
+        for item in pool:
+            total = total + item
+        return total.scaled(1.0 / len(pool))
+
+
+def format_breakdown(breakdown: LatencyBreakdown, label: str = "") -> str:
+    """One-line human-readable rendering (µs)."""
+    return (
+        f"{label:<26}total {breakdown.total * 1e6:7.2f} us = "
+        f"ser {breakdown.serialization * 1e6:6.2f} + "
+        f"switch {breakdown.switching * 1e6:6.2f} + "
+        f"queue {breakdown.queueing * 1e6:6.2f} + "
+        f"prop {breakdown.propagation * 1e6:5.2f}"
+    )

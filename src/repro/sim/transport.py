@@ -1,0 +1,256 @@
+"""A window-based reliable transport (TCP Reno-style) over the packet sim.
+
+The paper's testbed traffic is TCP (Thrift RPC, Nuttcp), and its related
+work (DCTCP, D²TCP, PDQ) is transport-layer; this module adds the
+missing substrate: a simplified Reno-like sender with
+
+* slow start and congestion avoidance (cwnd in segments),
+* cumulative ACKs, fast retransmit on three duplicate ACKs,
+* retransmission timeouts with exponential backoff,
+* an optional application pacing rate (Nuttcp's ``-R``-style limit).
+
+Segments ride the packet simulator, so drops come from real finite
+buffers (:class:`~repro.sim.network.Network` with ``buffer_bytes``) and
+ACK clocking emerges from actual path delays.  The model is deliberately
+compact — no SACK, no delayed ACKs, no Nagle — enough to study
+congestion dynamics without re-implementing a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.engine import Event
+from repro.sim.network import Network
+from repro.units import BITS_PER_BYTE, MILLISECONDS
+
+
+class TransportError(ValueError):
+    """Raised for invalid transport configurations."""
+
+#: ACK segment size on the wire (header-only frame).
+ACK_BYTES = 64
+
+
+@dataclass
+class TCPFlow:
+    """One reliable byte stream from ``src`` to ``dst``.
+
+    Call :meth:`start`; ``on_complete(flow, completion_time)`` fires when
+    the last byte is acknowledged.  Progress metrics: ``delivered_bytes``
+    (acknowledged), ``retransmissions``, ``timeouts``, ``cwnd``.
+    """
+
+    network: Network
+    src: str
+    dst: str
+    size_bytes: float
+    mss: int = 1500
+    initial_cwnd: float = 10.0
+    rto: float = 10 * MILLISECONDS
+    max_rto: float = 200 * MILLISECONDS
+    pacing_rate_bps: float | None = None
+    flow_id: int = 0
+    group: str | None = None
+    on_complete: Callable[["TCPFlow", float], None] | None = None
+
+    # -- state (not constructor arguments) ---------------------------------------
+    cwnd: float = field(init=False)
+    ssthresh: float = field(init=False, default=float("inf"))
+    next_seq: int = field(init=False, default=0)  # next segment index to send
+    highest_acked: int = field(init=False, default=0)  # cumulative ACK point
+    dup_acks: int = field(init=False, default=0)
+    retransmissions: int = field(init=False, default=0)
+    timeouts: int = field(init=False, default=0)
+    completed_at: float | None = field(init=False, default=None)
+    started_at: float | None = field(init=False, default=None)
+    _num_segments: int = field(init=False)
+    _received: set = field(init=False, default_factory=set)
+    _rcv_next: int = field(init=False, default=0)  # receiver's in-order point
+    _rto_event: Event | None = field(init=False, default=None)
+    _current_rto: float = field(init=False)
+    _pacing_gate: float = field(init=False, default=0.0)
+    _in_recovery_until: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise TransportError("flow size must be positive")
+        if self.mss <= ACK_BYTES:
+            raise TransportError(f"mss must exceed {ACK_BYTES} bytes")
+        if self.initial_cwnd < 1:
+            raise TransportError("initial cwnd must be at least one segment")
+        if self.pacing_rate_bps is not None and self.pacing_rate_bps <= 0:
+            raise TransportError("pacing rate must be positive")
+        self.cwnd = float(self.initial_cwnd)
+        self._num_segments = max(1, -(-int(self.size_bytes) // self.mss))
+        self._current_rto = self.rto
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def delivered_bytes(self) -> float:
+        return min(self.size_bytes, self.highest_acked * self.mss)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def start(self, delay: float = 0.0) -> None:
+        self.network.engine.schedule(delay, self._begin)
+
+    def throughput_bps(self) -> float:
+        """Average goodput while the flow has been running."""
+        if self.started_at is None:
+            return 0.0
+        end = (
+            self.completed_at
+            if self.completed_at is not None
+            else self.network.engine.now
+        )
+        elapsed = end - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.delivered_bytes * BITS_PER_BYTE / elapsed
+
+    # -- sending ---------------------------------------------------------------------
+
+    def _begin(self) -> None:
+        self.started_at = self.network.engine.now
+        self._pacing_gate = self.started_at
+        self._fill_window()
+        self._arm_rto()
+
+    def _fill_window(self) -> None:
+        """Send while the window (and pacing) allows."""
+        if self.done:
+            return
+        now = self.network.engine.now
+        while (
+            self.next_seq < self._num_segments
+            and self.next_seq - self.highest_acked < int(self.cwnd)
+        ):
+            if self.pacing_rate_bps is not None and self._pacing_gate > now:
+                self.network.engine.schedule_at(self._pacing_gate, self._fill_window)
+                return
+            self._send_segment(self.next_seq)
+            self.next_seq += 1
+
+    def _send_segment(self, seq: int) -> None:
+        if self.pacing_rate_bps is not None:
+            now = self.network.engine.now
+            gap = self.mss * BITS_PER_BYTE / self.pacing_rate_bps
+            self._pacing_gate = max(self._pacing_gate, now) + gap
+        self.network.send(
+            self.src,
+            self.dst,
+            self.mss,
+            flow_id=self.flow_id,
+            group=self.group,
+            on_delivered=lambda packet, when, s=seq: self._data_arrived(s),
+        )
+
+    # -- receiver side ------------------------------------------------------------------
+
+    def _data_arrived(self, seq: int) -> None:
+        """Receiver got segment ``seq``; sends a cumulative ACK."""
+        self._received.add(seq)
+        while self._rcv_next in self._received:
+            self._received.discard(self._rcv_next)
+            self._rcv_next += 1
+        ack = self._rcv_next
+        self.network.send(
+            self.dst,
+            self.src,
+            ACK_BYTES,
+            flow_id=self.flow_id + 1_000_000,
+            on_delivered=lambda packet, when, a=ack: self._ack_arrived(a),
+        )
+
+    # -- sender reactions -----------------------------------------------------------------
+
+    def _ack_arrived(self, ack: int) -> None:
+        if self.done:
+            return
+        if ack > self.highest_acked:
+            newly = ack - self.highest_acked
+            self.highest_acked = ack
+            self.dup_acks = 0
+            self._grow_window(newly)
+            self._arm_rto()
+            if self.highest_acked >= self._num_segments:
+                self._complete()
+                return
+            self._fill_window()
+        elif ack == self.highest_acked:
+            self.dup_acks += 1
+            if self.dup_acks == 3 and self.highest_acked >= self._in_recovery_until:
+                self._fast_retransmit()
+
+    def _grow_window(self, newly_acked: int) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+
+    def _fast_retransmit(self) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = self.ssthresh
+        self.retransmissions += 1
+        # Do not re-enter recovery until this loss episode resolves.
+        self._in_recovery_until = self.next_seq
+        self._send_segment(self.highest_acked)
+        self._arm_rto()
+
+    def _timeout(self) -> None:
+        if self.done:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        self._current_rto = min(self._current_rto * 2, self.max_rto)
+        self._in_recovery_until = self.next_seq
+        self.retransmissions += 1
+        self._send_segment(self.highest_acked)
+        self._arm_rto(backoff=True)
+
+    def _arm_rto(self, backoff: bool = False) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        if not backoff:
+            self._current_rto = self.rto
+        self._rto_event = self.network.engine.schedule(
+            self._current_rto, self._timeout
+        )
+
+    def _complete(self) -> None:
+        self.completed_at = self.network.engine.now
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        if self.on_complete is not None:
+            self.on_complete(self, self.completed_at)
+
+
+def bulk_tcp_flows(
+    network: Network,
+    pairs: list[tuple[str, str]],
+    size_bytes: float,
+    pacing_rate_bps: float | None = None,
+    group: str | None = None,
+    base_flow_id: int = 0,
+) -> list[TCPFlow]:
+    """One TCP flow per (src, dst) pair (started by the caller)."""
+    return [
+        TCPFlow(
+            network,
+            src,
+            dst,
+            size_bytes,
+            pacing_rate_bps=pacing_rate_bps,
+            flow_id=base_flow_id + i * 2_000_000,
+            group=group,
+        )
+        for i, (src, dst) in enumerate(pairs)
+    ]

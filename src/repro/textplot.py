@@ -1,0 +1,133 @@
+"""Terminal-friendly ASCII charts.
+
+The benchmark harness regenerates the paper's figures; these helpers
+render the series as plots a terminal (or a ``bench_output.txt``) can
+show, so a regenerated figure *looks like* a figure:
+
+* :func:`line_chart` — multi-series X/Y chart with per-series markers
+  (Figures 14, 17, 18, 20 shapes);
+* :func:`bar_chart` — grouped horizontal bars (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+class ChartError(ValueError):
+    """Raised for unrenderable chart inputs."""
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label and its (x, y) points."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+
+def line_chart(
+    series: list[Series],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Values are mapped linearly onto a ``width × height`` grid; each
+    series draws with its own marker, and a legend maps markers to
+    labels.  Overlapping points keep the earliest series' marker.
+    """
+    if not series:
+        raise ChartError("need at least one series")
+    if width < 10 or height < 4:
+        raise ChartError("chart must be at least 10 × 4")
+    points = [(x, y) for s in series for (x, y) in s.points]
+    if not points:
+        raise ChartError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return (height - 1 - row, col)
+
+    for index, s in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in s.points:
+            row, col = cell(x, y)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width - 8) + f"{x_max:.3g}".rjust(8)
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (gutter + 1) + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ChartError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ChartError("bar values must include a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)} |{bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def sweep_to_series(sweep: dict[str, list], y_scale: float = 1e6) -> list[Series]:
+    """Adapt an experiment sweep (topology → SweepPoints) for plotting.
+
+    ``y_scale`` converts seconds to the plotted unit (default µs).
+    """
+    return [
+        Series(
+            label=topology,
+            points=tuple((p.num_tasks, p.mean_latency * y_scale) for p in points),
+        )
+        for topology, points in sweep.items()
+    ]

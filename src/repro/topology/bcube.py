@@ -1,0 +1,71 @@
+"""BCube — a server-centric modular DCN (Guo et al., SIGCOMM 2009).
+
+``BCube(n, k)`` has ``n^(k+1)`` servers, each with ``k + 1`` NICs, and
+``k + 1`` levels of ``n^k`` switches with ``n`` ports each.  Server
+``(a_k, …, a_1, a_0)`` (digits base ``n``) connects at level ``l`` to
+the switch indexed by its digits with ``a_l`` removed.
+
+Servers forward packets between levels, which is why the paper charges
+BCube a ~15 µs OS-stack hop (Table 9: 2 switch hops + 1 server hop →
+16 µs for BCube₁).
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.units import GBPS
+
+
+def bcube(
+    n: int = 4,
+    k: int = 1,
+    link_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    name: str | None = None,
+) -> Topology:
+    """Build ``BCube(n, k)``.
+
+    ``n`` is the switch port count (and module arity), ``k`` the highest
+    level (``k = 1`` gives the two-level BCube₁ used in Table 9 sizing).
+    Each server is placed in the "rack" of its level-0 switch.
+    """
+    if n < 2:
+        raise ValueError(f"BCube arity n must be ≥ 2, got {n}")
+    if k < 0:
+        raise ValueError(f"BCube level k must be ≥ 0, got {k}")
+
+    topo = Topology(name or f"bcube-n{n}-k{k}")
+    topo.graph.graph["server_centric"] = True
+    num_servers = n ** (k + 1)
+    switches_per_level = n**k
+
+    def digits(value: int) -> list[int]:
+        out = []
+        for _ in range(k + 1):
+            out.append(value % n)
+            value //= n
+        return out  # least-significant digit first: index l is digit a_l
+
+    for level in range(k + 1):
+        for idx in range(switches_per_level):
+            topo.add_switch(
+                f"sw{level}.{idx}",
+                NodeKind.TOR if level == 0 else NodeKind.AGG,
+                rack=idx if level == 0 else None,
+                switch_model=switch_model,
+            )
+
+    for s in range(num_servers):
+        d = digits(s)
+        rack = s // n  # index of its level-0 switch
+        server = topo.add_server(f"h{s}", rack=rack)
+        for level in range(k + 1):
+            # Switch index: the server's digits with digit `level` removed,
+            # re-interpreted base n.
+            rest = [d[i] for i in range(k + 1) if i != level]
+            sw_idx = 0
+            for digit in reversed(rest):
+                sw_idx = sw_idx * n + digit
+            topo.add_link(server, f"sw{level}.{sw_idx}", link_rate, LinkKind.HOST)
+    topo.validate()
+    return topo

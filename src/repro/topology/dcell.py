@@ -1,0 +1,73 @@
+"""DCell — a recursively defined server-centric DCN (Guo et al., SIGCOMM 2008).
+
+``DCell_0`` is ``n`` servers on one mini-switch.  ``DCell_k`` combines
+``t_{k-1} + 1`` copies of ``DCell_{k-1}`` (where ``t_{k-1}`` is the
+server count of a ``DCell_{k-1}``), adding one server-to-server link
+between every pair of sub-cells.  Like BCube, servers relay traffic, so
+paths through DCell pay OS-stack forwarding latency.
+
+The paper cites DCell as related work (Section 2.1.5); it is included
+here to make the topology-comparison substrate complete.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.units import GBPS
+
+
+def _dcell_servers(n: int, k: int) -> int:
+    """Number of servers in DCell_k with arity n."""
+    t = n
+    for _ in range(k):
+        t = t * (t + 1)
+    return t
+
+
+def dcell(
+    n: int = 4,
+    k: int = 1,
+    link_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    name: str | None = None,
+) -> Topology:
+    """Build ``DCell(n, k)`` for ``k ∈ {0, 1}``.
+
+    ``k = 1`` (the common evaluation size) yields ``n(n+1)`` servers and
+    ``n + 1`` switches.  Higher levels grow super-exponentially and are
+    out of scope for the paper's comparisons.
+    """
+    if n < 2:
+        raise ValueError(f"DCell arity n must be ≥ 2, got {n}")
+    if k not in (0, 1):
+        raise ValueError(f"only DCell levels 0 and 1 are supported, got {k}")
+
+    topo = Topology(name or f"dcell-n{n}-k{k}")
+    topo.graph.graph["server_centric"] = True
+    if k == 0:
+        sw = topo.add_switch("sw0", NodeKind.TOR, rack=0, switch_model=switch_model)
+        for s in range(n):
+            server = topo.add_server(f"h0.{s}", rack=0)
+            topo.add_link(server, sw, link_rate, LinkKind.HOST)
+        topo.validate()
+        return topo
+
+    num_cells = n + 1
+    for cell in range(num_cells):
+        sw = topo.add_switch(f"sw{cell}", NodeKind.TOR, rack=cell, switch_model=switch_model)
+        for s in range(n):
+            server = topo.add_server(f"h{cell}.{s}", rack=cell)
+            topo.add_link(server, sw, link_rate, LinkKind.HOST)
+
+    # Level-1 links: cell pair (i, j), i < j, joins server j-1 of cell i
+    # to server i of cell j (the standard DCell construction).
+    for i in range(num_cells):
+        for j in range(i + 1, num_cells):
+            topo.add_link(f"h{i}.{j - 1}", f"h{j}.{i}", link_rate, LinkKind.MESH)
+    topo.validate()
+    return topo
+
+
+def dcell_server_count(n: int, k: int) -> int:
+    """Server capacity of ``DCell(n, k)`` (exposed for sizing studies)."""
+    return _dcell_servers(n, k)

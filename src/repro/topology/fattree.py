@@ -1,0 +1,101 @@
+"""Fat-tree topologies (Al-Fares et al., SIGCOMM 2008) and folded Clos.
+
+Two variants:
+
+* :func:`fat_tree` — the standard three-level k-ary fat-tree: k pods of
+  k/2 edge + k/2 aggregation switches, (k/2)² cores, k³/4 servers.
+* :func:`folded_clos` — a two-level leaf/spine Clos.  This is the
+  configuration behind the paper's Table 9 "Fat-Tree" row: 32 edge
+  switches (32 server ports + 32 uplinks each) over 16 spine switches
+  with two parallel links per edge-spine pair gives 1024 server ports,
+  48 switches, 1024 cross-rack links and path diversity 32.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.units import GBPS
+
+
+def fat_tree(
+    k: int = 4,
+    servers_per_edge: int | None = None,
+    link_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    name: str | None = None,
+) -> Topology:
+    """A three-level k-ary fat-tree (k even).
+
+    ``servers_per_edge`` defaults to the full k/2 complement; pass a
+    smaller number to build reduced-host instances for simulation.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity k must be even and ≥ 2, got {k}")
+    half = k // 2
+    n_servers = half if servers_per_edge is None else servers_per_edge
+    if n_servers > half:
+        raise ValueError(f"at most {half} servers per edge switch for k={k}")
+
+    topo = Topology(name or f"fat-tree-k{k}")
+    cores = []
+    for c in range(half * half):
+        cores.append(topo.add_switch(f"core{c}", NodeKind.CORE, switch_model=switch_model))
+    rack = 0
+    for p in range(k):
+        aggs = [
+            topo.add_switch(f"agg{p}.{a}", NodeKind.AGG, switch_model=switch_model)
+            for a in range(half)
+        ]
+        # Aggregation switch a of each pod connects to cores
+        # [a*half, (a+1)*half) — the standard fat-tree core striping.
+        for a, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, f"core{a * half + j}", link_rate, LinkKind.UPLINK)
+        for e in range(half):
+            edge = topo.add_switch(
+                f"edge{p}.{e}", NodeKind.TOR, rack=rack, switch_model=switch_model
+            )
+            for agg in aggs:
+                topo.add_link(edge, agg, link_rate, LinkKind.UPLINK)
+            for s in range(n_servers):
+                server = topo.add_server(f"h{rack}.{s}", rack=rack)
+                topo.add_link(server, edge, link_rate, LinkKind.HOST)
+            rack += 1
+    topo.validate()
+    return topo
+
+
+def folded_clos(
+    num_edge: int = 32,
+    num_spine: int = 16,
+    links_per_pair: int = 2,
+    servers_per_edge: int = 32,
+    host_rate: float = 10 * GBPS,
+    fabric_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    name: str | None = None,
+) -> Topology:
+    """A two-level folded Clos (leaf/spine) network.
+
+    Every edge switch connects to every spine.  ``links_per_pair``
+    parallel links are modelled as one link of aggregate capacity (the
+    topology graph is simple); wiring complexity still counts the
+    physical cables.
+    """
+    if min(num_edge, num_spine, links_per_pair, servers_per_edge) < 1:
+        raise ValueError("all Clos parameters must be at least 1")
+    topo = Topology(name or f"clos-{num_edge}x{num_spine}")
+    spines = [
+        topo.add_switch(f"spine{s}", NodeKind.AGG, switch_model=switch_model)
+        for s in range(num_spine)
+    ]
+    for e in range(num_edge):
+        edge = topo.add_switch(f"edge{e}", NodeKind.TOR, rack=e, switch_model=switch_model)
+        for spine in spines:
+            topo.add_link(edge, spine, fabric_rate * links_per_pair, LinkKind.UPLINK)
+        for s in range(servers_per_edge):
+            server = topo.add_server(f"h{e}.{s}", rack=e)
+            topo.add_link(server, edge, host_rate, LinkKind.HOST)
+    topo.graph.graph["physical_links_per_pair"] = links_per_pair
+    topo.validate()
+    return topo

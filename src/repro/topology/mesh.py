@@ -1,0 +1,38 @@
+"""Full-mesh switch topology.
+
+The logical topology a Quartz ring implements: every ToR switch directly
+connected to every other.  Provided separately from
+:class:`repro.core.ring.QuartzRing` so baselines can be built without
+committing to the WDM realization (e.g. for the Table 9 comparison where
+the mesh's *electrical* wiring complexity — O(n²) — is contrasted with
+the WDM ring's O(n)).
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import LinkKind, NodeKind, Topology, connect_all
+from repro.units import GBPS
+
+
+def full_mesh(
+    num_switches: int = 4,
+    servers_per_switch: int = 2,
+    link_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    name: str | None = None,
+) -> Topology:
+    """A full mesh of ToR switches, one rack per switch."""
+    if num_switches < 2:
+        raise ValueError("need at least two switches")
+    topo = Topology(name or f"mesh-{num_switches}")
+    switches = [
+        topo.add_switch(f"tor{t}", NodeKind.TOR, rack=t, switch_model=switch_model)
+        for t in range(num_switches)
+    ]
+    connect_all(topo, switches, link_rate, LinkKind.MESH)
+    for t in range(num_switches):
+        for s in range(servers_per_switch):
+            server = topo.add_server(f"h{t}.{s}", rack=t)
+            topo.add_link(server, f"tor{t}", link_rate, LinkKind.HOST)
+    topo.validate()
+    return topo

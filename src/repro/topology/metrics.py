@@ -1,0 +1,232 @@
+"""Topology metrics — paper Section 5 / Table 9.
+
+The paper compares candidate low-latency design elements on four axes:
+
+* **latency without congestion** — switch hops (and server relay hops
+  for server-centric networks) weighted by per-device latency; computed
+  in :mod:`repro.analysis.latency` from the hop counts measured here;
+* **equipment** — number of switches;
+* **wiring complexity** — the number of cross-rack links (links whose
+  endpoints are in different racks, or that leave the rack for an
+  aggregation/core switch);
+* **path diversity** — following Teixeira et al. [39], the number of
+  edge-disjoint switch-level paths between a representative pair of
+  ToR switches (computed exactly via max-flow).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.topology.base import LinkKind, NodeKind, Topology
+
+
+def switch_hops(topo: Topology, src: str, dst: str) -> int:
+    """Number of switches on a shortest path between two servers."""
+    path = nx.shortest_path(topo.graph, src, dst)
+    return sum(1 for node in path if topo.is_switch(node))
+
+
+def server_relay_hops(topo: Topology, src: str, dst: str) -> int:
+    """Number of *intermediate* servers on a shortest path (BCube/DCell)."""
+    path = nx.shortest_path(topo.graph, src, dst)
+    return sum(1 for node in path[1:-1] if topo.is_server(node))
+
+
+@dataclass(frozen=True)
+class HopProfile:
+    """Hop counts between a server pair."""
+
+    switch_hops: int
+    server_relay_hops: int
+
+
+def hop_profile(topo: Topology, src: str, dst: str) -> HopProfile:
+    path = nx.shortest_path(topo.graph, src, dst)
+    return HopProfile(
+        switch_hops=sum(1 for n in path if topo.is_switch(n)),
+        server_relay_hops=sum(1 for n in path[1:-1] if topo.is_server(n)),
+    )
+
+
+def _sample_servers(topo: Topology, sample: int | None) -> list[str]:
+    """A deterministic, rack-spanning subset of servers.
+
+    Taking the *first* N servers would bias toward one pod, so the
+    sample strides evenly across the full server list.
+    """
+    servers = topo.servers()
+    if sample is None or sample >= len(servers):
+        return servers
+    stride = len(servers) / sample
+    return [servers[int(i * stride)] for i in range(sample)]
+
+
+def worst_case_hop_profile(topo: Topology, sample: int | None = None) -> HopProfile:
+    """The maximum-hop profile over server pairs.
+
+    For large topologies pass ``sample`` to bound the pair count; the
+    sample strides across racks so worst-case cross-pod pairs are seen.
+    """
+    servers = _sample_servers(topo, sample)
+    worst = HopProfile(0, 0)
+    for i, src in enumerate(servers):
+        lengths = nx.single_source_shortest_path(topo.graph, src)
+        for dst in servers[i + 1 :]:
+            path = lengths[dst]
+            profile = HopProfile(
+                switch_hops=sum(1 for n in path if topo.is_switch(n)),
+                server_relay_hops=sum(1 for n in path[1:-1] if topo.is_server(n)),
+            )
+            if (profile.switch_hops + profile.server_relay_hops) > (
+                worst.switch_hops + worst.server_relay_hops
+            ):
+                worst = profile
+    return worst
+
+
+def average_path_length(topo: Topology, sample: int | None = None) -> float:
+    """Mean server-to-server shortest-path hop count (switches + relays)."""
+    servers = _sample_servers(topo, sample)
+    hops = []
+    server_set = set(servers)
+    for i, src in enumerate(servers):
+        paths = nx.single_source_shortest_path(topo.graph, src)
+        for dst in servers[i + 1 :]:
+            if dst in server_set:
+                path = paths[dst]
+                hops.append(len(path) - 2)  # devices between the two servers
+    if not hops:
+        raise ValueError("need at least two servers")
+    return statistics.fmean(hops)
+
+
+def path_diversity(topo: Topology, u: str | None = None, v: str | None = None) -> int:
+    """Edge-disjoint path count between two endpoints (max-flow, [39]).
+
+    Defaults to the "most distant" representative pair.  For
+    switch-routed topologies this is the ToR pair at maximum
+    switch-graph distance — diversity between the racks.  For
+    server-centric topologies (BCube, DCell) the communication endpoints
+    with multiple paths are the multi-NIC *servers*, so the pair is the
+    most distant server pair and the flow runs over the full graph.
+
+    Each physical cable counts one unit of flow, so logical edges that
+    fold parallel cables (``physical_links_per_pair``) count accordingly.
+    """
+    server_centric = bool(topo.graph.graph.get("server_centric"))
+    if server_centric:
+        graph = topo.graph
+        endpoints = sorted(topo.servers())
+    else:
+        graph = topo.switch_graph()
+        endpoints = sorted(topo.switches(NodeKind.TOR))
+    if len(endpoints) < 2:
+        raise ValueError("need at least two candidate endpoints")
+    if u is None or v is None:
+        u, v = _most_distant_pair(graph, endpoints)
+
+    multiplier = int(topo.graph.graph.get("physical_links_per_pair", 1))
+    flow_graph = nx.Graph()
+    flow_graph.add_nodes_from(graph.nodes())
+    for a, b, data in graph.edges(data=True):
+        cables = multiplier if data["link_kind"] is LinkKind.UPLINK else 1
+        flow_graph.add_edge(a, b, capacity=cables)
+    return int(nx.maximum_flow_value(flow_graph, u, v))
+
+
+def _most_distant_pair(graph: nx.Graph, tors: list[str]) -> tuple[str, str]:
+    best: tuple[str, str] | None = None
+    best_dist = -1
+    for src in tors:
+        lengths = nx.single_source_shortest_path_length(graph, src)
+        for dst in tors:
+            if dst <= src:
+                continue
+            d = lengths.get(dst)
+            if d is not None and d > best_dist:
+                best, best_dist = (src, dst), d
+    assert best is not None
+    return best
+
+
+def wiring_complexity(topo: Topology) -> int:
+    """Number of cross-rack links (the paper's deployment-cost proxy).
+
+    A link is cross-rack when its endpoints live in different racks, or
+    when one endpoint (an aggregation or core switch) has no rack at all.
+    Host links inside a rack do not count.  Parallel physical cables
+    folded into one logical edge (``physical_links_per_pair``) are
+    counted individually.
+    """
+    multiplier = int(topo.graph.graph.get("physical_links_per_pair", 1))
+    count = 0
+    for link in topo.links():
+        rack_u = topo.rack(link.u)
+        rack_v = topo.rack(link.v)
+        if rack_u is None or rack_v is None or rack_u != rack_v:
+            count += multiplier if link.link_kind is LinkKind.UPLINK else 1
+    return count
+
+
+def switch_count(topo: Topology) -> int:
+    return len(topo.switches())
+
+
+def bisection_capacity(topo: Topology, trials: int = 0) -> float:
+    """Capacity (bps) across the minimum server-balanced cut — approximated
+    by the sum of capacities crossing a balanced partition of racks.
+
+    Exact bisection is NP-hard; this uses the canonical "first half of the
+    racks vs second half" cut, which is exact for the symmetric topologies
+    in this library and a reasonable upper bound elsewhere.
+    """
+    racks = topo.racks()
+    left = set(racks[: len(racks) // 2])
+    left_nodes = {
+        n
+        for n in topo.graph
+        if topo.rack(n) in left
+    }
+    # Rackless (agg/core) switches sit "between" the halves; count only
+    # links with one endpoint in each rack half, plus half the capacity
+    # of links touching rackless switches (they serve both sides).
+    capacity = 0.0
+    for link in topo.links():
+        u_in = link.u in left_nodes
+        v_in = link.v in left_nodes
+        u_rackless = topo.rack(link.u) is None
+        v_rackless = topo.rack(link.v) is None
+        if u_rackless or v_rackless:
+            capacity += link.capacity / 2
+        elif u_in != v_in:
+            capacity += link.capacity
+    return capacity
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """The Table 9 row for one topology."""
+
+    name: str
+    switch_hops: int
+    server_relay_hops: int
+    num_switches: int
+    wiring_complexity: int
+    path_diversity: int
+
+
+def summarize(topo: Topology, hop_sample: int | None = 64) -> TopologySummary:
+    """Compute the full Table 9 metric row for ``topo``."""
+    worst = worst_case_hop_profile(topo, sample=hop_sample)
+    return TopologySummary(
+        name=topo.name,
+        switch_hops=worst.switch_hops,
+        server_relay_hops=worst.server_relay_hops,
+        num_switches=switch_count(topo),
+        wiring_complexity=wiring_complexity(topo),
+        path_diversity=path_diversity(topo),
+    )

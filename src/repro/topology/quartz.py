@@ -1,0 +1,53 @@
+"""Quartz topology materialization helpers.
+
+Thin wrappers over :class:`repro.core.ring.QuartzRing` so the topology
+package offers every network in one namespace.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.units import GBPS
+
+
+def _quartz_ring_class():
+    # Imported lazily: repro.core.ring itself builds on repro.topology,
+    # so a module-level import here would be circular.
+    from repro.core.ring import QuartzRing
+
+    return QuartzRing
+
+
+def quartz_ring(
+    num_switches: int = 4,
+    servers_per_switch: int = 2,
+    server_ports: int = 32,
+    mesh_ports: int = 32,
+    link_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    name: str | None = None,
+) -> Topology:
+    """The logical topology of a single Quartz ring (a ToR full mesh).
+
+    ``servers_per_switch`` controls how many of the ``server_ports`` are
+    populated — simulations typically use a handful.
+    """
+    element = _quartz_ring_class()(
+        num_switches=num_switches,
+        server_ports=server_ports,
+        mesh_ports=max(mesh_ports, num_switches - 1),
+        link_rate=link_rate,
+        switch_model=switch_model,
+    )
+    return element.to_topology(servers_per_switch=servers_per_switch, name=name)
+
+
+def quartz_dual_tor(
+    port_count: int = 64,
+    servers_per_rack: int = 2,
+    link_rate: float = 10 * GBPS,
+    name: str | None = None,
+) -> Topology:
+    """The dual-ToR scaled Quartz variant (Section 3.2, 2080 ports)."""
+    element = _quartz_ring_class().dual_tor(port_count, link_rate=link_rate)
+    return element.to_topology(servers_per_switch=servers_per_rack, name=name)

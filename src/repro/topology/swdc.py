@@ -1,0 +1,87 @@
+"""SWDC — Small-World DataCenters (Shin, Wong, Sirer; SoCC 2011).
+
+Cited by the paper among the randomized designs Quartz is positioned
+against (Section 2.1.5) and as a substrate Quartz can replace parts of.
+Servers form a ring with regular neighbour links plus Kleinberg-style
+random long links (probability ∝ 1/distance), giving short greedy paths
+at the cost of server-side forwarding (like BCube/DCell, server-centric).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.units import GBPS
+
+
+def swdc_ring(
+    num_servers: int = 32,
+    servers_per_rack: int = 4,
+    regular_degree: int = 2,
+    random_links_per_server: int = 1,
+    link_rate: float = 10 * GBPS,
+    switch_model: str = "ULL",
+    seed: int = 0,
+    name: str | None = None,
+) -> Topology:
+    """An SWDC ring: ToR-attached servers with direct server-to-server
+    small-world links.
+
+    Servers sit ``servers_per_rack`` to a rack (each rack keeps a ToR
+    for external connectivity, as in SWDC deployments), and additionally
+    link directly to ``regular_degree`` ring neighbours on each side...
+    precisely: each server links to its ``regular_degree // 2``
+    successors (symmetric by undirectedness) plus
+    ``random_links_per_server`` long links sampled with
+    Kleinberg 1/d weights.  Deterministic per seed.
+    """
+    if num_servers < 4:
+        raise ValueError("need at least four servers")
+    if servers_per_rack < 1 or num_servers % servers_per_rack:
+        raise ValueError("num_servers must be a multiple of servers_per_rack")
+    if regular_degree < 2 or regular_degree % 2:
+        raise ValueError("regular degree must be even and ≥ 2")
+    if random_links_per_server < 0:
+        raise ValueError("random link count must be non-negative")
+
+    rng = random.Random(seed)
+    topo = Topology(name or f"swdc-{num_servers}")
+    topo.graph.graph["server_centric"] = True
+
+    num_racks = num_servers // servers_per_rack
+    for rack in range(num_racks):
+        topo.add_switch(f"tor{rack}", NodeKind.TOR, rack=rack, switch_model=switch_model)
+    servers = []
+    for i in range(num_servers):
+        rack = i // servers_per_rack
+        server = topo.add_server(f"h{i}", rack=rack)
+        topo.add_link(server, f"tor{rack}", link_rate, LinkKind.HOST)
+        servers.append(server)
+
+    # Regular ring lattice among servers.
+    half = regular_degree // 2
+    for i in range(num_servers):
+        for step in range(1, half + 1):
+            j = (i + step) % num_servers
+            if not topo.graph.has_edge(servers[i], servers[j]):
+                topo.add_link(servers[i], servers[j], link_rate, LinkKind.MESH)
+
+    # Kleinberg long links: endpoint sampled with probability ∝ 1/d.
+    for i in range(num_servers):
+        for _ in range(random_links_per_server):
+            target = _kleinberg_target(i, num_servers, rng)
+            if target != i and not topo.graph.has_edge(servers[i], servers[target]):
+                topo.add_link(servers[i], servers[target], link_rate, LinkKind.RANDOM)
+
+    topo.validate()
+    return topo
+
+
+def _kleinberg_target(source: int, n: int, rng: random.Random) -> int:
+    """Sample a ring position at distance d with weight 1/d."""
+    distances = list(range(1, n // 2 + 1))
+    weights = [1.0 / d for d in distances]
+    d = rng.choices(distances, weights=weights, k=1)[0]
+    direction = rng.choice((-1, 1))
+    return (source + direction * d) % n

@@ -1,0 +1,98 @@
+"""Tree topologies: two-tier and three-tier multi-root trees.
+
+These are the paper's baselines.  The two-tier tree (Table 9, Section 6)
+joins ToR switches through a single high-port-count second tier; the
+three-tier multi-root tree (Figure 15(a), Section 7) adds an aggregation
+tier: each ToR connects to two aggregation switches over 40 Gbps links
+and each aggregation switch connects to two core switches over 40 Gbps
+links.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.units import GBPS
+
+
+def two_tier_tree(
+    num_tors: int = 16,
+    servers_per_tor: int = 4,
+    num_roots: int = 1,
+    host_rate: float = 10 * GBPS,
+    uplink_rate: float = 40 * GBPS,
+    tor_model: str = "ULL",
+    root_model: str = "CCS",
+    name: str | None = None,
+) -> Topology:
+    """A two-tier tree: ToRs under ``num_roots`` second-tier switches.
+
+    The canonical Table 9 configuration is 16 ToRs under one large
+    store-and-forward switch (17 switches, 16 cross-rack links, path
+    diversity 1).
+    """
+    if num_tors < 1 or num_roots < 1:
+        raise ValueError("need at least one ToR and one root switch")
+    topo = Topology(name or f"two-tier-{num_tors}x{servers_per_tor}")
+    roots = [
+        topo.add_switch(f"root{r}", NodeKind.CORE, switch_model=root_model)
+        for r in range(num_roots)
+    ]
+    for t in range(num_tors):
+        tor = topo.add_switch(f"tor{t}", NodeKind.TOR, rack=t, switch_model=tor_model)
+        for root in roots:
+            topo.add_link(tor, root, uplink_rate, LinkKind.UPLINK)
+        for s in range(servers_per_tor):
+            server = topo.add_server(f"h{t}.{s}", rack=t)
+            topo.add_link(server, tor, host_rate, LinkKind.HOST)
+    topo.validate()
+    return topo
+
+
+def three_tier_tree(
+    num_pods: int = 2,
+    tors_per_pod: int = 8,
+    aggs_per_pod: int = 2,
+    num_cores: int = 2,
+    servers_per_tor: int = 4,
+    host_rate: float = 10 * GBPS,
+    uplink_rate: float = 40 * GBPS,
+    tor_model: str = "ULL",
+    agg_model: str = "ULL",
+    core_model: str = "CCS",
+    name: str | None = None,
+) -> Topology:
+    """The paper's three-tier multi-root tree (Figure 15(a)).
+
+    Every ToR connects to every aggregation switch in its pod (two, in
+    the paper's simulations); every aggregation switch connects to every
+    core switch.  Cores are high-latency store-and-forward switches
+    (CCS), the lower tiers low-latency cut-through (ULL).
+    """
+    if min(num_pods, tors_per_pod, aggs_per_pod, num_cores) < 1:
+        raise ValueError("all tier sizes must be at least 1")
+    topo = Topology(name or f"three-tier-{num_pods}x{tors_per_pod}x{servers_per_tor}")
+    cores = [
+        topo.add_switch(f"core{c}", NodeKind.CORE, switch_model=core_model)
+        for c in range(num_cores)
+    ]
+    rack = 0
+    for p in range(num_pods):
+        aggs = [
+            topo.add_switch(f"agg{p}.{a}", NodeKind.AGG, switch_model=agg_model)
+            for a in range(aggs_per_pod)
+        ]
+        for agg in aggs:
+            for core in cores:
+                topo.add_link(agg, core, uplink_rate, LinkKind.UPLINK)
+        for t in range(tors_per_pod):
+            tor = topo.add_switch(
+                f"tor{p}.{t}", NodeKind.TOR, rack=rack, switch_model=tor_model
+            )
+            for agg in aggs:
+                topo.add_link(tor, agg, uplink_rate, LinkKind.UPLINK)
+            for s in range(servers_per_tor):
+                server = topo.add_server(f"h{rack}.{s}", rack=rack)
+                topo.add_link(server, tor, host_rate, LinkKind.HOST)
+            rack += 1
+    topo.validate()
+    return topo

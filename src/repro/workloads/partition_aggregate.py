@@ -1,0 +1,166 @@
+"""Partition/aggregate query workload — the paper's motivating pattern.
+
+"In realtime or interactive applications such as search engines …
+a wide-area request may trigger hundreds of message exchanges inside a
+datacenter" (Section 1, citing Facebook's 392 backend RPCs per HTTP
+request).  The canonical structure is partition/aggregate: a front-end
+fans a query out to aggregators, each aggregator fans out to its
+workers, and responses flow back up; the query completes when the last
+response lands.
+
+:class:`PartitionAggregateQuery` runs this closed-loop on the packet
+simulator and records per-query completion times — the tail of which is
+the latency-sensitive quantity DCN designs are judged on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import Network, Packet
+
+
+class QueryError(ValueError):
+    """Raised for malformed query trees."""
+
+
+@dataclass(frozen=True)
+class QueryTree:
+    """The fan-out structure: front-end → aggregators → workers."""
+
+    frontend: str
+    workers_by_aggregator: dict[str, tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.workers_by_aggregator:
+            raise QueryError("need at least one aggregator")
+        participants = [self.frontend]
+        for aggregator, workers in self.workers_by_aggregator.items():
+            if not workers:
+                raise QueryError(f"aggregator {aggregator!r} has no workers")
+            participants.append(aggregator)
+            participants.extend(workers)
+        if len(participants) != len(set(participants)):
+            raise QueryError("participants must be distinct")
+
+    @property
+    def num_exchanges(self) -> int:
+        """Messages per query: 2 per edge of the tree."""
+        edges = len(self.workers_by_aggregator) + sum(
+            len(w) for w in self.workers_by_aggregator.values()
+        )
+        return 2 * edges
+
+
+@dataclass
+class PartitionAggregateQuery:
+    """Closed-loop partition/aggregate queries over a packet network.
+
+    Each query: the front-end sends a request to every aggregator; an
+    aggregator forwards sub-requests to its workers; workers respond;
+    when an aggregator has all worker responses it replies to the
+    front-end; the query completes when every aggregator has replied.
+    Query completion times are recorded in ``completion_times`` and in
+    the network stats under ``group``.
+    """
+
+    network: Network
+    tree: QueryTree
+    num_queries: int = 100
+    request_bytes: float = 300
+    response_bytes: float = 800
+    group: str = "query"
+    completion_times: list[float] = field(default_factory=list)
+    _pending_aggregators: int = 0
+    _pending_workers: dict[str, int] = field(default_factory=dict)
+    _query_started: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise QueryError("need at least one query")
+
+    def start(self, delay: float = 0.0) -> None:
+        self.network.engine.schedule(delay, self._issue_query)
+
+    @property
+    def completed(self) -> int:
+        return len(self.completion_times)
+
+    # -- query state machine -----------------------------------------------------
+
+    def _issue_query(self) -> None:
+        self._query_started = self.network.engine.now
+        self._pending_aggregators = len(self.tree.workers_by_aggregator)
+        for aggregator in self.tree.workers_by_aggregator:
+            self.network.send(
+                self.tree.frontend,
+                aggregator,
+                self.request_bytes,
+                on_delivered=self._aggregator_got_request,
+            )
+
+    def _aggregator_got_request(self, packet: Packet, _when: float) -> None:
+        aggregator = packet.dst
+        workers = self.tree.workers_by_aggregator[aggregator]
+        self._pending_workers[aggregator] = len(workers)
+        for worker in workers:
+            self.network.send(
+                aggregator,
+                worker,
+                self.request_bytes,
+                on_delivered=self._worker_got_request,
+            )
+
+    def _worker_got_request(self, packet: Packet, _when: float) -> None:
+        self.network.send(
+            packet.dst,
+            packet.src,
+            self.response_bytes,
+            on_delivered=self._aggregator_got_response,
+        )
+
+    def _aggregator_got_response(self, packet: Packet, _when: float) -> None:
+        aggregator = packet.dst
+        self._pending_workers[aggregator] -= 1
+        if self._pending_workers[aggregator] == 0:
+            self.network.send(
+                aggregator,
+                self.tree.frontend,
+                self.response_bytes,
+                on_delivered=self._frontend_got_response,
+            )
+
+    def _frontend_got_response(self, _packet: Packet, when: float) -> None:
+        self._pending_aggregators -= 1
+        if self._pending_aggregators == 0:
+            elapsed = when - self._query_started
+            self.completion_times.append(elapsed)
+            self.network.stats.record(elapsed, group=self.group)
+            if self.completed < self.num_queries:
+                self._issue_query()
+
+
+def spread_query_tree(
+    topo,
+    aggregators: int = 2,
+    workers_per_aggregator: int = 4,
+    seed: int = 0,
+) -> QueryTree:
+    """Place a query tree on distinct servers, spread across racks."""
+    import random
+
+    rng = random.Random(seed)
+    servers = topo.servers()
+    need = 1 + aggregators * (1 + workers_per_aggregator)
+    if len(servers) < need:
+        raise QueryError(f"need {need} servers, topology has {len(servers)}")
+    chosen = rng.sample(servers, need)
+    frontend = chosen[0]
+    rest = chosen[1:]
+    tree: dict[str, tuple[str, ...]] = {}
+    for a in range(aggregators):
+        base = a * (1 + workers_per_aggregator)
+        aggregator = rest[base]
+        workers = tuple(rest[base + 1 : base + 1 + workers_per_aggregator])
+        tree[aggregator] = workers
+    return QueryTree(frontend=frontend, workers_by_aggregator=tree)

@@ -1,0 +1,113 @@
+"""Traffic-matrix generators — the paper's communication patterns.
+
+Section 5.1's three patterns for the bisection-bandwidth study:
+
+* **random permutation** — each server sends to one randomly selected
+  server and receives from exactly one other;
+* **incast** — each server receives from 10 servers at random locations
+  (the MapReduce shuffle stage);
+* **rack-level shuffle** — the servers of each rack send to servers in
+  several other racks (VM-migration style load balancing).
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.base import Topology
+
+#: A traffic matrix: (source server, destination server, demand bps).
+TrafficMatrix = list[tuple[str, str, float]]
+
+
+def random_permutation(
+    topo: Topology, demand: float, seed: int = 0
+) -> TrafficMatrix:
+    """Each server sends to one other server; each receives from one.
+
+    A random derangement of the server list, so no server sends to
+    itself.
+    """
+    servers = topo.servers()
+    if len(servers) < 2:
+        raise ValueError("need at least two servers")
+    rng = random.Random(seed)
+    receivers = _derangement(servers, rng)
+    return [(s, r, demand) for s, r in zip(servers, receivers)]
+
+
+def _derangement(items: list[str], rng: random.Random) -> list[str]:
+    """A uniformly sampled derangement (retry sampling)."""
+    while True:
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        if all(a != b for a, b in zip(items, shuffled)):
+            return shuffled
+
+
+def incast(
+    topo: Topology, demand: float, fan_in: int = 10, seed: int = 0
+) -> TrafficMatrix:
+    """Each server receives from ``fan_in`` random other servers."""
+    servers = topo.servers()
+    if len(servers) <= fan_in:
+        raise ValueError(f"need more than {fan_in} servers for fan-in {fan_in}")
+    rng = random.Random(seed)
+    matrix: TrafficMatrix = []
+    for receiver in servers:
+        candidates = [s for s in servers if s != receiver]
+        for sender in rng.sample(candidates, fan_in):
+            matrix.append((sender, receiver, demand))
+    return matrix
+
+
+def rack_level_shuffle(
+    topo: Topology, demand: float, target_racks: int = 4, seed: int = 0
+) -> TrafficMatrix:
+    """Each rack's servers send to servers spread over other racks.
+
+    Every server sends ``target_racks`` flows, one to a random server in
+    each of ``target_racks`` distinct foreign racks.
+    """
+    racks = topo.racks()
+    if len(racks) <= target_racks:
+        raise ValueError(
+            f"need more than {target_racks} racks, topology has {len(racks)}"
+        )
+    rng = random.Random(seed)
+    matrix: TrafficMatrix = []
+    for rack in racks:
+        foreign = [r for r in racks if r != rack]
+        for server in topo.servers_in_rack(rack):
+            for target in rng.sample(foreign, target_racks):
+                receiver = rng.choice(topo.servers_in_rack(target))
+                matrix.append((server, receiver, demand))
+    return matrix
+
+
+def pathological_concentration(
+    topo: Topology,
+    demand_total: float,
+    src_rack: int = 0,
+    dst_rack: int = 1,
+    num_flows: int | None = None,
+) -> TrafficMatrix:
+    """Section 7.2's pathological pattern: many flows from the ports of
+    one switch to receivers on another, stressing switch-to-switch
+    bandwidth.
+
+    ``demand_total`` is the aggregate offered load, split evenly over
+    the rack's server pairs.
+    """
+    senders = topo.servers_in_rack(src_rack)
+    receivers = topo.servers_in_rack(dst_rack)
+    if not senders or not receivers:
+        raise ValueError(f"racks {src_rack} and {dst_rack} must both have servers")
+    count = min(len(senders), len(receivers)) if num_flows is None else num_flows
+    per_flow = demand_total / count
+    return [
+        (senders[i % len(senders)], receivers[i % len(receivers)], per_flow)
+        for i in range(count)
+    ]

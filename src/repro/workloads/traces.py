@@ -1,0 +1,167 @@
+"""Synthetic datacenter flow traces.
+
+The paper's Section 4.1 argues from measured datacenter traffic ("most
+datacenter traffic patterns show strong locality", citing Kandula et
+al.); the congestion-control work it compares against (DCTCP and
+successors) evaluates on empirical flow-size distributions from
+production clusters.  This module generates :class:`TimedFlow` traces
+against those standard distributions for use with the FCT simulator:
+
+* ``"websearch"`` — the partition/aggregate search cluster of the DCTCP
+  paper: mostly small request/response flows with a heavy tail of
+  multi-MB background flows (mean ≈ 1.6 MB);
+* ``"datamining"`` — the data-mining cluster of VL2/pFabric: extremely
+  heavy-tailed, >80 % of flows under 10 KB but most bytes in 100 MB+
+  flows (mean ≈ 7.4 MB);
+* ``"uniform"`` — a fixed-size control.
+
+Arrivals are Poisson with rate set by a target offered load on the
+hosts' aggregate NIC capacity; endpoints are uniform random distinct
+server pairs (optionally rack-local with a given probability, to model
+the measured locality).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.flowsim.fct import TimedFlow
+from repro.topology.base import Topology
+from repro.units import BITS_PER_BYTE
+
+#: Piecewise empirical CDFs: (cumulative probability, flow size in bytes).
+#: Points follow the published curves at the fidelity FCT studies use.
+SIZE_DISTRIBUTIONS: dict[str, tuple[tuple[float, float], ...]] = {
+    "websearch": (
+        (0.0, 6e3),
+        (0.15, 13e3),
+        (0.2, 19e3),
+        (0.3, 33e3),
+        (0.4, 53e3),
+        (0.53, 133e3),
+        (0.6, 667e3),
+        (0.7, 1.3e6),
+        (0.8, 3.3e6),
+        (0.9, 6.7e6),
+        (0.97, 20e6),
+        (1.0, 30e6),
+    ),
+    "datamining": (
+        (0.0, 100.0),
+        (0.5, 1e3),
+        (0.6, 2e3),
+        (0.7, 10e3),
+        (0.8, 100e3),
+        (0.9, 1e6),
+        (0.95, 10e6),
+        (0.99, 100e6),
+        (1.0, 1e9),
+    ),
+}
+
+
+class TraceError(ValueError):
+    """Raised for invalid trace requests."""
+
+
+def sample_flow_size(
+    distribution: str, rng: random.Random, uniform_bytes: float = 100e3
+) -> float:
+    """One flow size drawn from a named distribution (log-interpolated)."""
+    if distribution == "uniform":
+        return uniform_bytes
+    points = SIZE_DISTRIBUTIONS.get(distribution)
+    if points is None:
+        raise TraceError(
+            f"unknown distribution {distribution!r}; "
+            f"options: {sorted(SIZE_DISTRIBUTIONS)} or 'uniform'"
+        )
+    u = rng.random()
+    probs = [p for p, _ in points]
+    index = bisect.bisect_right(probs, u)
+    if index == 0:
+        return points[0][1]
+    if index >= len(points):
+        return points[-1][1]
+    (p0, s0), (p1, s1) = points[index - 1], points[index]
+    if p1 == p0:
+        return s1
+    # Interpolate in log-size space: heavy tails span decades.
+    import math
+
+    frac = (u - p0) / (p1 - p0)
+    return math.exp(math.log(s0) + frac * (math.log(s1) - math.log(s0)))
+
+
+def mean_flow_size(distribution: str, samples: int = 20_000, seed: int = 0) -> float:
+    """Monte-Carlo mean of a distribution (for load calibration)."""
+    rng = random.Random(seed)
+    total = sum(sample_flow_size(distribution, rng) for _ in range(samples))
+    return total / samples
+
+
+def synthetic_flow_trace(
+    topo: Topology,
+    duration: float,
+    load_fraction: float,
+    line_rate_bps: float,
+    distribution: str = "websearch",
+    rack_locality: float = 0.0,
+    seed: int = 0,
+) -> list[TimedFlow]:
+    """Generate a Poisson flow trace at a target offered load.
+
+    ``load_fraction`` is the fraction of the servers' aggregate NIC
+    capacity offered (0.1–0.8 are typical study points).  With
+    ``rack_locality`` > 0, that fraction of flows picks a destination in
+    the source's own rack (the measured locality the paper leans on).
+    Deterministic per seed.
+    """
+    if duration <= 0:
+        raise TraceError("duration must be positive")
+    if not 0.0 < load_fraction < 1.0:
+        raise TraceError("load fraction must be in (0, 1)")
+    if not 0.0 <= rack_locality <= 1.0:
+        raise TraceError("rack locality must be in [0, 1]")
+    servers = topo.servers()
+    if len(servers) < 2:
+        raise TraceError("need at least two servers")
+
+    rng = random.Random(seed)
+    mean_size = mean_flow_size(distribution, samples=5_000, seed=seed)
+    aggregate_bps = load_fraction * line_rate_bps * len(servers)
+    arrival_rate = aggregate_bps / (mean_size * BITS_PER_BYTE)  # flows/s
+
+    flows: list[TimedFlow] = []
+    t = 0.0
+    flow_id = 0
+    while True:
+        t += rng.expovariate(arrival_rate)
+        if t >= duration:
+            break
+        src = rng.choice(servers)
+        if rack_locality > 0 and rng.random() < rack_locality:
+            local = [s for s in topo.servers_in_rack(topo.rack(src)) if s != src]
+            dst = rng.choice(local) if local else None
+        else:
+            dst = None
+        if dst is None:
+            dst = rng.choice(servers)
+            while dst == src:
+                dst = rng.choice(servers)
+        flows.append(
+            TimedFlow(
+                flow_id=flow_id,
+                src=src,
+                dst=dst,
+                size_bytes=sample_flow_size(distribution, rng),
+                arrival=t,
+            )
+        )
+        flow_id += 1
+    if not flows:
+        raise TraceError(
+            "no flows generated; increase duration or load fraction"
+        )
+    return flows

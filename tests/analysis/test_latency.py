@@ -1,0 +1,60 @@
+"""Tests for the analytical latency model (Tables 2 and 9)."""
+
+import pytest
+
+import repro.topology as T
+from repro.analysis.latency import (
+    STANDARD,
+    STATE_OF_THE_ART,
+    end_to_end_latency,
+    path_latency,
+    table9_latency,
+)
+from repro.topology.metrics import HopProfile, worst_case_hop_profile
+from repro.units import MICROSECONDS
+
+
+class TestTable9Formula:
+    def test_two_tier_tree_is_1_5us(self):
+        assert table9_latency(HopProfile(3, 0)) == pytest.approx(1.5 * MICROSECONDS)
+
+    def test_mesh_is_1_0us(self):
+        assert table9_latency(HopProfile(2, 0)) == pytest.approx(1.0 * MICROSECONDS)
+
+    def test_bcube_is_16us(self):
+        assert table9_latency(HopProfile(2, 1)) == pytest.approx(16 * MICROSECONDS)
+
+    def test_matches_measured_topologies(self):
+        mesh_profile = worst_case_hop_profile(T.full_mesh(8, 1))
+        assert table9_latency(mesh_profile) == pytest.approx(1.0 * MICROSECONDS)
+        bcube_profile = worst_case_hop_profile(T.bcube(4, 1))
+        assert table9_latency(bcube_profile) == pytest.approx(16 * MICROSECONDS)
+
+
+class TestPathLatency:
+    def test_quartz_two_ull_hops(self):
+        topo = T.full_mesh(4, 1)
+        latency = path_latency(topo, "h0.0", "h3.0")
+        assert latency == pytest.approx(2 * 380e-9)
+
+    def test_three_tier_includes_core(self):
+        topo = T.three_tier_tree()
+        latency = path_latency(topo, "h0.0", "h15.0")
+        # 4 ULL hops + 1 CCS hop.
+        assert latency == pytest.approx(4 * 380e-9 + 6e-6)
+
+    def test_bcube_includes_server_relay(self):
+        topo = T.bcube(4, 1)
+        latency = path_latency(topo, "h0", "h5")
+        assert latency == pytest.approx(2 * 380e-9 + 15e-6)
+
+
+class TestComponentStacks:
+    def test_standard_stack_dominated_by_hosts(self):
+        total = end_to_end_latency(1.5 * MICROSECONDS, STANDARD)
+        assert total == pytest.approx((1.5 + 30 + 34 + 50) * MICROSECONDS)
+
+    def test_state_of_the_art_is_order_of_magnitude_lower(self):
+        standard = end_to_end_latency(1.5 * MICROSECONDS, STANDARD)
+        modern = end_to_end_latency(1.5 * MICROSECONDS, STATE_OF_THE_ART)
+        assert standard / modern > 10

@@ -1,0 +1,62 @@
+"""Tests for the element-scaling analysis (Sections 3.2 / 8)."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    ScalingError,
+    element_scale,
+    format_scaling_table,
+    scaling_table,
+)
+
+
+class TestCanonicalSizes:
+    def test_64_port_element(self):
+        scale = element_scale(64)
+        assert scale.ring_size == 33
+        assert scale.total_server_ports == 1056
+        assert scale.fibre_rings == 2
+
+    def test_single_fibre_cap_is_35(self):
+        scale = element_scale(128, allow_parallel_rings=False)
+        assert scale.ring_size == 35
+        assert scale.wavelength_limited
+
+    def test_small_switch_not_wavelength_limited(self):
+        scale = element_scale(32, allow_parallel_rings=False)
+        assert scale.ring_size == 17
+        assert not scale.wavelength_limited
+
+    def test_dual_tor_scales_racks(self):
+        scale = element_scale(64, switches_per_rack=2)
+        assert scale.ring_size == 130  # 65 racks × 2 switches
+        assert scale.total_server_ports == 2080
+
+
+class TestMonotonicity:
+    def test_bigger_switches_bigger_elements(self):
+        rows = scaling_table()
+        ports = [r.total_server_ports for r in rows]
+        assert ports == sorted(ports)
+        # The paper's point: scalability grows superlinearly in port
+        # count (quadratic in the half-split).
+        assert rows[-1].total_server_ports > 4 * rows[-3].total_server_ports
+
+    def test_wavelengths_grow_quadratically(self):
+        small = element_scale(32)
+        large = element_scale(64)
+        assert large.wavelengths > 3 * small.wavelengths
+
+
+class TestValidation:
+    def test_odd_ports_rejected(self):
+        with pytest.raises(ScalingError):
+            element_scale(63)
+
+    def test_tiny_switch_rejected(self):
+        with pytest.raises(ScalingError):
+            element_scale(2)
+
+    def test_format(self):
+        text = format_scaling_table(scaling_table((16, 64)))
+        assert "1056" in text

@@ -1,0 +1,120 @@
+"""Tests for multi-ring wavelength planning (Section 3.5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channels import greedy_assignment
+from repro.core.fault import RingFaultModel
+from repro.core.multiring import MultiRingPlan, MultiRingPlanError, plan_rings
+
+
+class TestPaperScale:
+    @pytest.fixture(scope="class")
+    def plan33(self):
+        return plan_rings(33)
+
+    def test_two_rings_suffice(self, plan33):
+        # 136 channels over two 80-channel WDMs (Section 3.5).
+        assert plan33.num_rings == 2
+        for ring in range(2):
+            assert plan33.wavelengths_on_ring(ring) <= 80
+
+    def test_validates(self, plan33):
+        plan33.validate()
+
+    def test_segment_load_balanced(self, plan33):
+        # Greedy balancing keeps every fibre segment's channels spread
+        # evenly across the rings.
+        assert plan33.max_segment_imbalance() <= 1
+
+    def test_every_pair_routed(self, plan33):
+        assert len(plan33.assignments) == 33 * 32 // 2
+        assert plan33.ring_of(0, 16) in (0, 1)
+
+    def test_missing_pair_raises(self, plan33):
+        with pytest.raises(MultiRingPlanError):
+            plan33.ring_of(0, 99)
+
+
+class TestSmallRings:
+    def test_single_ring_when_it_fits(self):
+        plan = plan_rings(8)
+        assert plan.num_rings == 1
+
+    def test_explicit_ring_count(self):
+        plan = plan_rings(8, num_rings=3)
+        assert plan.num_rings == 3
+        rings_used = {a.ring for a in plan.assignments}
+        assert rings_used == {0, 1, 2}
+
+    def test_tiny_wdm_forces_more_rings(self):
+        plan = plan_rings(8, wdm_channels=4)
+        assert plan.num_rings >= 3
+        for ring in range(plan.num_rings):
+            assert plan.wavelengths_on_ring(ring) <= 4
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(MultiRingPlanError):
+            plan_rings(8, num_rings=1, wdm_channels=4)
+
+    def test_ring_size_mismatch_rejected(self):
+        with pytest.raises(MultiRingPlanError):
+            plan_rings(10, base_plan=greedy_assignment(8))
+
+    def test_trivial_ring_rejected(self):
+        with pytest.raises(MultiRingPlanError):
+            plan_rings(1)
+
+
+class TestValidation:
+    def test_validate_catches_overfull_ring(self):
+        plan = plan_rings(8, num_rings=2)
+        squeezed = MultiRingPlan(
+            ring_size=8,
+            num_rings=2,
+            wdm_channels=1,
+            assignments=plan.assignments,
+        )
+        with pytest.raises(MultiRingPlanError):
+            squeezed.validate()
+
+    def test_validate_catches_missing_pairs(self):
+        plan = plan_rings(6)
+        broken = MultiRingPlan(
+            ring_size=6,
+            num_rings=plan.num_rings,
+            wdm_channels=plan.wdm_channels,
+            assignments=plan.assignments[:-1],
+        )
+        with pytest.raises(MultiRingPlanError):
+            broken.validate()
+
+    @given(st.integers(2, 16), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_plans_always_validate(self, ring_size, num_rings):
+        plan = plan_rings(ring_size, num_rings=num_rings)
+        plan.validate()
+        # Greedy balancing is heuristic; the imbalance stays small but
+        # is not guaranteed minimal.
+        assert plan.max_segment_imbalance() <= 3
+
+
+class TestFaultModelIntegration:
+    def test_balanced_placement_beats_striping(self):
+        # A load-balanced placement never does worse on partitions than
+        # wavelength-striping, and typically better.
+        base = greedy_assignment(33)
+        striped = RingFaultModel(33, 2, base)
+        balanced = RingFaultModel(33, multi_plan=plan_rings(33, base_plan=base))
+        s_striped = striped.simulate(4, trials=800, seed=9)
+        s_balanced = balanced.simulate(4, trials=800, seed=9)
+        # Both are tiny; the balanced placement must not be materially
+        # worse (Monte-Carlo noise floor ~1/800).
+        assert (
+            s_balanced.partition_probability
+            <= s_striped.partition_probability + 0.005
+        )
+
+    def test_multi_plan_size_mismatch(self):
+        with pytest.raises(Exception):
+            RingFaultModel(10, multi_plan=plan_rings(8))

@@ -1,0 +1,82 @@
+"""Tests for the optical power budget (paper Section 3.3)."""
+
+import pytest
+
+from repro.core import optical as opt
+
+
+class TestPaperArithmetic:
+    def test_max_unamplified_hops_is_three(self):
+        # (4 − (−15)) / 6 = 3.17 → 3 DWDMs.
+        assert opt.max_unamplified_wdm_hops() == 3
+
+    def test_amplifier_every_two_switches(self):
+        assert opt.amplifier_spacing_switches() == 2
+
+    def test_24_ring_needs_12_amplifiers(self):
+        assert opt.amplifiers_required(24) == 12
+
+    def test_tiny_rings_need_no_amplifier(self):
+        assert opt.amplifiers_required(0) == 0
+        assert opt.amplifiers_required(1) == 0
+
+    def test_power_budget_is_19_db(self):
+        assert opt.Transceiver().power_budget_db == pytest.approx(19.0)
+
+
+class TestCustomHardware:
+    def test_lossier_wdm_tightens_spacing(self):
+        lossy = opt.WDMMux(insertion_loss_db=9.0)
+        assert opt.max_unamplified_wdm_hops(wdm=lossy) == 2
+        assert opt.amplifier_spacing_switches(wdm=lossy) == 1
+
+    def test_budget_too_small_raises(self):
+        weak = opt.Transceiver(output_power_dbm=-5, receiver_sensitivity_dbm=-14)
+        with pytest.raises(opt.OpticalBudgetError):
+            opt.amplifier_spacing_switches(transceiver=weak)
+
+    def test_zero_insertion_loss_rejected(self):
+        with pytest.raises(opt.OpticalBudgetError):
+            opt.max_unamplified_wdm_hops(wdm=opt.WDMMux(insertion_loss_db=0))
+
+
+class TestSignalTrace:
+    def test_zero_hops_is_launch_power(self):
+        trace = opt.trace_channel(0)
+        assert trace.levels_dbm == (4.0,)
+        assert trace.feasible
+
+    def test_one_hop_loses_two_insertion_losses(self):
+        trace = opt.trace_channel(1)
+        assert trace.final_power_dbm == pytest.approx(4.0 - 12.0)
+        assert trace.feasible
+
+    def test_long_path_stays_above_sensitivity(self):
+        trace = opt.trace_channel(16)
+        assert trace.feasible
+        assert trace.min_power_dbm >= opt.Transceiver().receiver_sensitivity_dbm
+
+    def test_attenuator_pads_hot_receivers(self):
+        # A 1-hop path lands at −8 dBm, below the 0 dBm overload point,
+        # so no receiver pad is needed; a 0-hop loopback would need one.
+        assert opt.trace_channel(1).attenuation_needed_db == pytest.approx(0.0)
+        assert opt.trace_channel(0).attenuation_needed_db == pytest.approx(4.0)
+
+    def test_insufficient_gain_is_infeasible(self):
+        feeble = opt.Amplifier(gain_db=1.0)
+        trace = opt.trace_channel(8, amplifier=feeble)
+        assert not trace.feasible
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(opt.OpticalBudgetError):
+            opt.trace_channel(-1)
+
+
+class TestRingValidation:
+    def test_paper_rings_validate(self):
+        for size in (4, 24, 33, 35):
+            opt.validate_ring_budget(size)
+
+    def test_weak_amplifier_fails_validation(self):
+        with pytest.raises(opt.OpticalBudgetError):
+            opt.validate_ring_budget(33, amplifier=opt.Amplifier(gain_db=0.5))

@@ -1,0 +1,46 @@
+"""Tests for the per-plan optical power report."""
+
+import pytest
+
+from repro.core import channels, optical
+
+
+class TestPowerReport:
+    @pytest.fixture(scope="class")
+    def report33(self):
+        return optical.ring_power_report(channels.greedy_assignment(33))
+
+    def test_feasible_at_paper_scale(self, report33):
+        assert report33.all_feasible
+        assert report33.worst_min_power_dbm >= -15.0
+
+    def test_worst_pair_is_long(self, report33):
+        s, t = report33.worst_pair
+        assert channels.ring_distance(s, t, 33) >= 12
+
+    def test_histogram_covers_all_pairs(self, report33):
+        assert sum(report33.hops_histogram.values()) == 33 * 32 // 2
+        assert max(report33.hops_histogram) == 16  # ⌊33/2⌋
+
+    def test_amplifier_count_matches_spacing(self, report33):
+        assert report33.amplifiers == optical.amplifiers_required(33)
+
+    def test_attenuation_is_positive(self, report33):
+        # Short channels arrive hot and need receiver pads.
+        assert report33.total_attenuation_db > 0
+
+    def test_weak_amplifier_flagged_infeasible(self):
+        report = optical.ring_power_report(
+            channels.greedy_assignment(24),
+            amplifier=optical.Amplifier(gain_db=0.5),
+        )
+        assert not report.all_feasible
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(optical.OpticalBudgetError):
+            optical.ring_power_report(channels.greedy_assignment(1))
+
+    def test_small_ring_needs_no_amplification_events(self):
+        report = optical.ring_power_report(channels.greedy_assignment(4))
+        assert report.all_feasible
+        assert max(report.hops_histogram) == 2

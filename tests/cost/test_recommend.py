@@ -1,0 +1,73 @@
+"""Tests for the deployment recommender."""
+
+import pytest
+
+from repro.cost.pricelist import PriceList
+from repro.cost.recommend import (
+    RecommendationError,
+    candidates_for,
+    recommend,
+)
+
+
+class TestCandidates:
+    def test_small_dc_offers_two_options(self):
+        options = candidates_for(500)
+        names = [c.name for c in options]
+        assert names == ["two-tier tree", "single Quartz ring"]
+        assert options[0].baseline
+
+    def test_large_dc_offers_four_options(self):
+        options = candidates_for(100_000)
+        assert len(options) == 4
+        assert sum(c.baseline for c in options) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(RecommendationError):
+            candidates_for(0)
+        with pytest.raises(RecommendationError):
+            candidates_for(500, utilization="weekend")
+
+
+class TestRecommend:
+    def test_zero_target_picks_cheapest(self):
+        rec = recommend(500, latency_reduction_target=0.0)
+        cheapest = min(rec.candidates, key=lambda c: c.cost_per_server)
+        assert rec.chosen == cheapest
+        assert rec.meets_target
+
+    def test_latency_target_forces_quartz(self):
+        rec = recommend(500, latency_reduction_target=0.3)
+        assert rec.chosen.name == "single Quartz ring"
+        assert rec.meets_target
+        assert rec.premium_over_baseline > 0
+
+    def test_large_dc_core_replacement_is_a_bargain(self):
+        # Quartz in core: ~70 % reduction at ~zero premium.
+        rec = recommend(100_000, latency_reduction_target=0.6)
+        assert rec.chosen.name == "Quartz in core"
+        assert abs(rec.premium_over_baseline) < 0.10
+
+    def test_aggressive_target_picks_edge_and_core(self):
+        rec = recommend(100_000, latency_reduction_target=0.72)
+        assert rec.chosen.name == "Quartz in edge and core"
+
+    def test_unreachable_target_flagged(self):
+        rec = recommend(500, latency_reduction_target=0.9)
+        assert not rec.meets_target
+        # Falls back to the strongest reducer available.
+        assert rec.chosen.latency_reduction == max(
+            c.latency_reduction for c in rec.candidates
+        )
+
+    def test_invalid_target(self):
+        with pytest.raises(RecommendationError):
+            recommend(500, latency_reduction_target=1.0)
+
+    def test_prices_shift_the_verdict(self):
+        cheap_optics = PriceList(dwdm_transceiver=10.0, dwdm_mux=100.0)
+        rec = recommend(500, latency_reduction_target=0.0, prices=cheap_optics)
+        # With near-free optics the ring can undercut the tree.
+        ring = next(c for c in rec.candidates if not c.baseline)
+        tree = next(c for c in rec.candidates if c.baseline)
+        assert ring.cost_per_server < tree.cost_per_server * 1.1

@@ -1,0 +1,153 @@
+"""Tests for the flow-completion-time fluid simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.topology as T
+from repro.flowsim.fct import FCTError, FCTSimulator, TimedFlow, mean_fct
+from repro.routing import ECMPRouter, VLBRouter
+from repro.units import GBPS
+
+
+@pytest.fixture()
+def mesh_sim():
+    topo = T.full_mesh(4, 2, link_rate=10 * GBPS)
+    return FCTSimulator(topo, ECMPRouter(topo))
+
+
+MB = 1_000_000  # bytes
+
+
+class TestSingleFlow:
+    def test_fct_is_size_over_line_rate(self, mesh_sim):
+        flows = [TimedFlow(0, "h0.0", "h1.0", 10 * MB, arrival=0.0)]
+        done = mesh_sim.run(flows)
+        # 10 MB at 10 Gbps = 8 ms.
+        assert done[0].fct == pytest.approx(8e-3, rel=1e-6)
+
+    def test_arrival_offsets_completion(self, mesh_sim):
+        flows = [TimedFlow(0, "h0.0", "h1.0", 10 * MB, arrival=0.5)]
+        done = mesh_sim.run(flows)
+        assert done[0].completion == pytest.approx(0.508, rel=1e-6)
+        assert done[0].fct == pytest.approx(8e-3, rel=1e-6)
+
+    def test_average_rate(self, mesh_sim):
+        done = mesh_sim.run([TimedFlow(0, "h0.0", "h1.0", 10 * MB, 0.0)])
+        assert done[0].average_rate_bps == pytest.approx(10 * GBPS, rel=1e-6)
+
+
+class TestSharing:
+    def test_two_simultaneous_flows_share_the_host_link(self, mesh_sim):
+        flows = [
+            TimedFlow(0, "h0.0", "h1.0", 10 * MB, 0.0),
+            TimedFlow(1, "h0.0", "h2.0", 10 * MB, 0.0),
+        ]
+        done = mesh_sim.run(flows)
+        # Both share h0.0's 10 G NIC: 16 ms each.
+        for c in done:
+            assert c.fct == pytest.approx(16e-3, rel=1e-6)
+
+    def test_short_flow_finishes_first_then_long_speeds_up(self, mesh_sim):
+        flows = [
+            TimedFlow(0, "h0.0", "h1.0", 20 * MB, 0.0),
+            TimedFlow(1, "h0.0", "h2.0", 5 * MB, 0.0),
+        ]
+        done = {c.flow_id: c for c in mesh_sim.run(flows)}
+        # Shared at 5 G until the short flow drains 5 MB (t = 8 ms);
+        # the long flow then has 15 MB left at full rate (+12 ms).
+        assert done[1].completion == pytest.approx(8e-3, rel=1e-6)
+        assert done[0].completion == pytest.approx(20e-3, rel=1e-6)
+
+    def test_staggered_arrival_reallocates(self, mesh_sim):
+        flows = [
+            TimedFlow(0, "h0.0", "h1.0", 10 * MB, 0.0),
+            TimedFlow(1, "h0.0", "h2.0", 10 * MB, 4e-3),
+        ]
+        done = {c.flow_id: c for c in mesh_sim.run(flows)}
+        # Flow 0 runs alone for 4 ms (5 MB), then shares: 5 MB at 5 G
+        # (+8 ms) → 12 ms total.
+        assert done[0].completion == pytest.approx(12e-3, rel=1e-6)
+        assert done[1].completion > done[0].completion
+
+
+class TestMultipath:
+    def test_vlb_multipath_beats_single_channel(self):
+        topo = T.full_mesh(4, 2, link_rate=10 * GBPS)
+        # Two flows rack0 → rack1 compete for one 10 G channel under
+        # direct routing; multipath VLB spills one onto detours.
+        flows = [
+            TimedFlow(0, "h0.0", "h1.0", 10 * MB, 0.0),
+            TimedFlow(1, "h0.1", "h1.1", 10 * MB, 0.0),
+        ]
+        direct = FCTSimulator(topo, ECMPRouter(topo)).run(flows)
+        spread = FCTSimulator(
+            topo, VLBRouter(topo, 0.5), multipath=True
+        ).run(flows)
+        assert mean_fct(spread) < mean_fct(direct)
+
+
+class TestControls:
+    def test_horizon_truncates(self, mesh_sim):
+        flows = [TimedFlow(0, "h0.0", "h1.0", 100 * MB, 0.0)]
+        done = mesh_sim.run(flows, horizon=1e-3)
+        assert done == []
+
+    def test_demand_cap(self):
+        topo = T.full_mesh(4, 2, link_rate=10 * GBPS)
+        sim = FCTSimulator(topo, ECMPRouter(topo), demand_cap_bps=1 * GBPS)
+        done = sim.run([TimedFlow(0, "h0.0", "h1.0", 10 * MB, 0.0)])
+        assert done[0].fct == pytest.approx(80e-3, rel=1e-6)
+
+    def test_duplicate_ids_rejected(self, mesh_sim):
+        flows = [
+            TimedFlow(0, "h0.0", "h1.0", MB, 0.0),
+            TimedFlow(0, "h0.1", "h1.1", MB, 0.0),
+        ]
+        with pytest.raises(FCTError):
+            mesh_sim.run(flows)
+
+    def test_invalid_flow_specs(self):
+        with pytest.raises(FCTError):
+            TimedFlow(0, "a", "b", 0, 0.0)
+        with pytest.raises(FCTError):
+            TimedFlow(0, "a", "b", 10, -1.0)
+
+    def test_empty(self, mesh_sim):
+        assert mesh_sim.run([]) == []
+
+    def test_mean_fct_empty_rejected(self):
+        with pytest.raises(FCTError):
+            mean_fct([])
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 20.0), st.floats(0.0, 0.01)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_flows_complete_with_sane_fcts(self, specs):
+        topo = T.full_mesh(4, 2, link_rate=10 * GBPS)
+        sim = FCTSimulator(topo, ECMPRouter(topo))
+        servers = topo.servers()
+        flows = [
+            TimedFlow(
+                i,
+                servers[i % len(servers)],
+                servers[(i + 3) % len(servers)],
+                size_mb * MB,
+                arrival,
+            )
+            for i, (size_mb, arrival) in enumerate(specs)
+        ]
+        done = sim.run(flows)
+        assert len(done) == len(flows)
+        for c in done:
+            # Never faster than line rate, never slower than a full
+            # serial schedule of all bytes.
+            assert c.fct >= c.size_bytes * 8 / (10 * GBPS) - 1e-9
+            total_bytes = sum(f.size_bytes for f in flows)
+            assert c.fct <= total_bytes * 8 / (10 * GBPS) + 0.011

@@ -1,0 +1,166 @@
+"""Tests for max-min fair progressive filling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowsim.maxmin import (
+    Flow,
+    FlowSimError,
+    capacities_of,
+    flow_from_single_path,
+    max_min_rates,
+)
+from repro.routing.base import WeightedPath
+
+
+def caps(**links):
+    """Helper: {'a_b': 10} → {('a','b'): 10} (directed)."""
+    return {tuple(k.split("_")): float(v) for k, v in links.items()}
+
+
+class TestSingleLink:
+    def test_two_flows_share_equally(self):
+        flows = [
+            flow_from_single_path(0, ("a", "b"), demand=10.0),
+            flow_from_single_path(1, ("a", "b"), demand=10.0),
+        ]
+        rates = max_min_rates(flows, caps(a_b=10))
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+
+    def test_demand_cap_respected(self):
+        flows = [
+            flow_from_single_path(0, ("a", "b"), demand=2.0),
+            flow_from_single_path(1, ("a", "b"), demand=10.0),
+        ]
+        rates = max_min_rates(flows, caps(a_b=10))
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)  # takes the leftover
+
+    def test_unconstrained_flow_gets_demand(self):
+        flows = [flow_from_single_path(0, ("a", "b"), demand=3.0)]
+        rates = max_min_rates(flows, caps(a_b=10))
+        assert rates[0] == pytest.approx(3.0)
+
+
+class TestClassicScenarios:
+    def test_textbook_three_flow_maxmin(self):
+        # Two tandem links; flow 0 crosses both, flows 1 and 2 one each.
+        capacities = caps(a_b=10, b_c=10)
+        flows = [
+            Flow(0, (WeightedPath(("a", "b", "c"), 1.0),), demand=100.0),
+            flow_from_single_path(1, ("a", "b"), demand=100.0),
+            flow_from_single_path(2, ("b", "c"), demand=100.0),
+        ]
+        rates = max_min_rates(flows, capacities)
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(5.0)
+
+    def test_bottleneck_asymmetry(self):
+        capacities = caps(a_b=10, b_c=2)
+        flows = [
+            Flow(0, (WeightedPath(("a", "b", "c"), 1.0),), demand=100.0),
+            flow_from_single_path(1, ("a", "b"), demand=100.0),
+        ]
+        rates = max_min_rates(flows, capacities)
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+
+class TestMultipath:
+    def test_even_two_path_split_doubles_throughput(self):
+        capacities = caps(a_b=10, a_c=10, c_b=10)
+        flow = Flow(
+            0,
+            (
+                WeightedPath(("a", "b"), 0.5),
+                WeightedPath(("a", "c", "b"), 0.5),
+            ),
+            demand=100.0,
+        )
+        rates = max_min_rates([flow], capacities)
+        # Each path carries half the rate; the direct link caps its half
+        # at 10, so the total rate reaches 20.
+        assert rates[0] == pytest.approx(20.0)
+
+    def test_weighted_split_bottleneck(self):
+        capacities = caps(a_b=10, a_c=10, c_b=10)
+        flow = Flow(
+            0,
+            (
+                WeightedPath(("a", "b"), 0.8),
+                WeightedPath(("a", "c", "b"), 0.2),
+            ),
+            demand=100.0,
+        )
+        rates = max_min_rates([flow], capacities)
+        # The 80 % direct share saturates at 10 → total 12.5.
+        assert rates[0] == pytest.approx(12.5)
+
+
+class TestValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(FlowSimError):
+            Flow(0, (WeightedPath(("a", "b"), 0.5),), demand=1.0)
+
+    def test_unknown_link_rejected(self):
+        flow = flow_from_single_path(0, ("a", "z"), demand=1.0)
+        with pytest.raises(FlowSimError):
+            max_min_rates([flow], caps(a_b=10))
+
+    def test_non_positive_demand_rejected(self):
+        with pytest.raises(FlowSimError):
+            flow_from_single_path(0, ("a", "b"), demand=0.0)
+
+    def test_non_positive_capacity_rejected(self):
+        flow = flow_from_single_path(0, ("a", "b"), demand=1.0)
+        with pytest.raises(FlowSimError):
+            max_min_rates([flow], {("a", "b"): 0.0})
+
+    def test_empty_flow_list(self):
+        assert max_min_rates([], caps(a_b=10)) == {}
+
+
+class TestInvariants:
+    @given(
+        st.lists(st.floats(0.5, 20.0), min_size=1, max_size=8),
+        st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_feasible_and_demand_bounded(self, demands, capacity):
+        flows = [
+            flow_from_single_path(i, ("a", "b"), demand=d)
+            for i, d in enumerate(demands)
+        ]
+        rates = max_min_rates(flows, {("a", "b"): capacity})
+        total = sum(rates.values())
+        assert total <= capacity * (1 + 1e-6)
+        for i, d in enumerate(demands):
+            assert rates[i] <= d * (1 + 1e-9)
+        # Work-conserving: either capacity is used up or everyone got
+        # their full demand.
+        assert total == pytest.approx(min(capacity, sum(demands)), rel=1e-5)
+
+    @given(st.lists(st.floats(1.0, 10.0), min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_equal_demands_get_equal_rates(self, demands):
+        # All flows identical demand on one link → identical rates.
+        demand = demands[0]
+        flows = [
+            flow_from_single_path(i, ("a", "b"), demand=demand)
+            for i in range(len(demands))
+        ]
+        rates = max_min_rates(flows, {("a", "b"): 7.0})
+        values = list(rates.values())
+        assert max(values) - min(values) < 1e-6
+
+
+class TestCapacitiesOf:
+    def test_both_directions_present(self):
+        import repro.topology as T
+
+        topo = T.full_mesh(3, 1)
+        capacities = capacities_of(topo)
+        assert ("tor0", "tor1") in capacities
+        assert ("tor1", "tor0") in capacities

@@ -1,0 +1,111 @@
+"""Tests for the adaptive multipath max-min allocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowsim.maxmin import (
+    Flow,
+    flow_from_single_path,
+    max_min_rates,
+    max_min_rates_multipath,
+)
+from repro.routing.base import WeightedPath
+
+
+def caps(**links):
+    return {tuple(k.split("_")): float(v) for k, v in links.items()}
+
+
+def two_path_flow(flow_id, demand):
+    return Flow(
+        flow_id,
+        (
+            WeightedPath(("a", "b"), 0.5),
+            WeightedPath(("a", "c", "b"), 0.5),
+        ),
+        demand,
+    )
+
+
+class TestAdaptiveSpill:
+    def test_direct_preferred_when_sufficient(self):
+        # Demand 8 fits the 10-capacity direct path: no detour traffic,
+        # so the detour links stay free for others.
+        capacities = caps(a_b=10, a_c=10, c_b=10)
+        rates = max_min_rates_multipath([two_path_flow(0, 8.0)], capacities)
+        assert rates[0] == pytest.approx(8.0)
+
+    def test_excess_spills_to_detour(self):
+        capacities = caps(a_b=10, a_c=10, c_b=10)
+        rates = max_min_rates_multipath([two_path_flow(0, 18.0)], capacities)
+        # 10 direct + 8 detour.
+        assert rates[0] == pytest.approx(18.0)
+
+    def test_detour_capacity_bounds_spill(self):
+        capacities = caps(a_b=10, a_c=4, c_b=10)
+        rates = max_min_rates_multipath([two_path_flow(0, 100.0)], capacities)
+        assert rates[0] == pytest.approx(14.0)
+
+    def test_beats_fixed_split_under_asymmetry(self):
+        # Fixed 50/50 split is capped by the 4-capacity detour; adaptive
+        # spill uses the direct path fully.
+        capacities = caps(a_b=10, a_c=4, c_b=10)
+        flow = two_path_flow(0, 100.0)
+        fixed = max_min_rates([flow], capacities)[0]
+        adaptive = max_min_rates_multipath([flow], capacities)[0]
+        assert adaptive > fixed
+
+    def test_primary_competition_shared_fairly(self):
+        capacities = caps(a_b=10, a_c=10, c_b=10)
+        flows = [two_path_flow(0, 20.0), two_path_flow(1, 20.0)]
+        rates = max_min_rates_multipath(flows, capacities)
+        # 10 direct shared 5/5; 10 detour shared 5/5 → 10 each.
+        assert rates[0] == pytest.approx(rates[1])
+        assert rates[0] + rates[1] == pytest.approx(20.0)
+
+    def test_single_path_flows_match_plain_maxmin(self):
+        capacities = caps(a_b=10)
+        flows = [
+            flow_from_single_path(0, ("a", "b"), 7.0),
+            flow_from_single_path(1, ("a", "b"), 7.0),
+        ]
+        plain = max_min_rates(flows, capacities)
+        multi = max_min_rates_multipath(flows, capacities)
+        assert plain == pytest.approx(multi)
+
+    def test_empty(self):
+        assert max_min_rates_multipath([], caps(a_b=1)) == {}
+
+
+class TestInvariants:
+    @given(
+        st.lists(st.floats(0.5, 30.0), min_size=1, max_size=6),
+        st.floats(2.0, 20.0),
+        st.floats(2.0, 20.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_feasible(self, demands, direct_cap, detour_cap):
+        capacities = {
+            ("a", "b"): direct_cap,
+            ("a", "c"): detour_cap,
+            ("c", "b"): detour_cap,
+        }
+        flows = [two_path_flow(i, d) for i, d in enumerate(demands)]
+        rates = max_min_rates_multipath(flows, capacities)
+        total = sum(rates.values())
+        # Total cannot exceed direct + detour capacity, nor total demand.
+        assert total <= direct_cap + detour_cap + 1e-6
+        assert total <= sum(demands) + 1e-6
+        for i, d in enumerate(demands):
+            assert rates[i] <= d + 1e-9
+
+    @given(st.floats(1.0, 50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_adaptive_at_least_direct_only(self, demand):
+        capacities = caps(a_b=10, a_c=10, c_b=10)
+        flow = two_path_flow(0, demand)
+        direct_only = max_min_rates(
+            [flow_from_single_path(0, ("a", "b"), demand)], capacities
+        )[0]
+        adaptive = max_min_rates_multipath([flow], capacities)[0]
+        assert adaptive >= direct_only - 1e-9

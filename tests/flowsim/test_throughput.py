@@ -1,0 +1,89 @@
+"""Tests for normalized-throughput evaluation (Figure 10 machinery)."""
+
+import pytest
+
+import repro.topology as T
+from repro.flowsim import evaluate, ideal_throughput, oversubscribed_fabric
+from repro.routing import ECMPRouter, VLBRouter
+from repro.units import GBPS
+from repro.workloads.patterns import incast, random_permutation
+
+
+LINE = 10 * GBPS
+
+
+class TestIdealFabric:
+    def test_permutation_reaches_line_rate(self):
+        topo = T.full_mesh(4, 2)
+        matrix = random_permutation(topo, demand=LINE, seed=1)
+        ideal = ideal_throughput(matrix, LINE)
+        for rate in ideal.values():
+            assert rate == pytest.approx(LINE)
+
+    def test_incast_is_receiver_limited(self):
+        topo = oversubscribed_fabric(4, 4, bisection_factor=1.0)
+        matrix = incast(topo, demand=LINE, fan_in=10, seed=1)
+        ideal = ideal_throughput(matrix, LINE)
+        # 10 senders share each receiver NIC; sender NICs serving many
+        # receivers constrain some flows further, but no receiver can
+        # exceed its NIC and the average flow lands near line / 10.
+        per_receiver: dict[str, float] = {}
+        for flow_id, (_src, dst, _demand) in enumerate(matrix):
+            per_receiver[dst] = per_receiver.get(dst, 0.0) + ideal[flow_id]
+        for total in per_receiver.values():
+            assert total <= LINE * (1 + 1e-6)
+        mean_rate = sum(ideal.values()) / len(ideal)
+        assert mean_rate == pytest.approx(LINE / 10, rel=0.2)
+
+
+class TestFabricComparison:
+    def test_full_bisection_is_normalized_one(self):
+        topo = oversubscribed_fabric(4, 4, bisection_factor=1.0)
+        matrix = random_permutation(topo, demand=LINE, seed=2)
+        result = evaluate(topo, ECMPRouter(topo), matrix, LINE)
+        assert result.normalized == pytest.approx(1.0, rel=1e-6)
+
+    def test_quarter_bisection_is_lower(self):
+        full = oversubscribed_fabric(4, 4, bisection_factor=1.0)
+        quarter = oversubscribed_fabric(4, 4, bisection_factor=0.25)
+        matrix = random_permutation(full, demand=LINE, seed=2)
+        full_result = evaluate(full, ECMPRouter(full), matrix, LINE)
+        quarter_result = evaluate(quarter, ECMPRouter(quarter), matrix, LINE)
+        assert quarter_result.normalized < full_result.normalized
+
+    def test_quartz_beats_half_bisection_on_permutation(self):
+        # The paper's Figure 10 conclusion: "Quartz's bisection bandwidth
+        # is less than full bisection bandwidth but greater than 1/2."
+        quartz = T.quartz_ring(8, 4)
+        matrix = random_permutation(quartz, demand=LINE, seed=3)
+        quartz_result = evaluate(quartz, VLBRouter(quartz, 0.5), matrix, LINE)
+
+        half = oversubscribed_fabric(8, 4, bisection_factor=0.5)
+        half_matrix = random_permutation(half, demand=LINE, seed=3)
+        half_result = evaluate(half, ECMPRouter(half), half_matrix, LINE)
+
+        assert quartz_result.normalized > half_result.normalized
+
+
+class TestResultObject:
+    def test_aggregate_is_sum_of_flows(self):
+        topo = T.full_mesh(4, 2)
+        matrix = random_permutation(topo, demand=LINE, seed=4)
+        result = evaluate(topo, ECMPRouter(topo), matrix, LINE)
+        assert result.aggregate_bps == pytest.approx(sum(result.per_flow_bps.values()))
+
+    def test_empty_matrix_raises_on_normalize(self):
+        from repro.flowsim.throughput import ThroughputResult
+
+        with pytest.raises(ValueError):
+            _ = ThroughputResult(0.0, 0.0, {}).normalized
+
+
+class TestOversubscribedFabric:
+    def test_uplink_scales_with_factor(self):
+        topo = oversubscribed_fabric(4, 8, bisection_factor=0.5, host_rate=LINE)
+        assert topo.capacity("tor0", "root0") == 8 * LINE * 0.5
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            oversubscribed_fabric(4, 4, bisection_factor=0.0)

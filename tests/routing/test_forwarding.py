@@ -1,0 +1,99 @@
+"""Tests for forwarding-table compilation and table-driven routing."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter, RoutingError, VLBRouter
+from repro.routing.forwarding import (
+    TableDrivenRouter,
+    compile_tables,
+    total_state,
+)
+from repro.sim import Network
+
+
+@pytest.fixture()
+def mesh():
+    return T.full_mesh(5, 2)
+
+
+class TestCompilation:
+    def test_mesh_tables_are_linear_in_racks(self, mesh):
+        tables = compile_tables(mesh, ECMPRouter(mesh))
+        # Each ToR holds one entry per foreign rack: the direct channel.
+        for table in tables.values():
+            assert table.size == 4
+            for hops in table.entries.values():
+                assert len(hops) == 1
+
+    def test_vlb_tables_hold_detours_too(self, mesh):
+        tables = compile_tables(mesh, VLBRouter(mesh))
+        # With detour paths compiled in, every foreign rack has the
+        # direct hop plus detour first-hops.
+        tor0 = tables["tor0"]
+        assert all(len(hops) == 4 for hops in tor0.entries.values())
+
+    def test_tree_aggregation_switch_knows_all_racks(self):
+        topo = T.three_tier_tree(num_pods=2, tors_per_pod=2, servers_per_tor=2)
+        tables = compile_tables(topo, ECMPRouter(topo))
+        agg = tables["agg0.0"]
+        assert set(agg.entries) == set(topo.racks())
+
+    def test_state_grows_with_path_diversity(self, mesh):
+        ecmp_state = total_state(compile_tables(mesh, ECMPRouter(mesh)))
+        vlb_state = total_state(compile_tables(mesh, VLBRouter(mesh)))
+        assert vlb_state > ecmp_state
+
+    def test_server_relay_paths_rejected(self):
+        topo = T.bcube(4, 1)
+        with pytest.raises(RoutingError):
+            compile_tables(topo, ECMPRouter(topo))
+
+
+class TestTableDrivenRouting:
+    def test_matches_source_routing_on_mesh(self, mesh):
+        ecmp = ECMPRouter(mesh)
+        driven = TableDrivenRouter(mesh, compile_tables(mesh, ecmp))
+        for src, dst in (("h0.0", "h3.1"), ("h2.0", "h4.0"), ("h1.1", "h0.0")):
+            assert driven.route(src, dst) == ecmp.route(src, dst)
+
+    def test_intra_rack_delivery(self, mesh):
+        driven = TableDrivenRouter(mesh, compile_tables(mesh, ECMPRouter(mesh)))
+        assert driven.route("h0.0", "h0.1") == ("h0.0", "tor0", "h0.1")
+
+    def test_tree_paths_are_valid(self):
+        topo = T.three_tier_tree(num_pods=2, tors_per_pod=2, servers_per_tor=2)
+        driven = TableDrivenRouter(topo, compile_tables(topo, ECMPRouter(topo)))
+        path = driven.route("h0.0", "h3.0")
+        assert path[0] == "h0.0" and path[-1] == "h3.0"
+        for u, v in zip(path, path[1:]):
+            assert topo.graph.has_edge(u, v)
+
+    def test_flows_spread_across_ecmp_options(self):
+        topo = T.three_tier_tree(num_pods=2, tors_per_pod=2, servers_per_tor=2)
+        driven = TableDrivenRouter(topo, compile_tables(topo, ECMPRouter(topo)))
+        paths = {driven.route("h0.0", "h3.0", f) for f in range(40)}
+        assert len(paths) > 1
+
+    def test_missing_entry_raises(self, mesh):
+        tables = compile_tables(mesh, ECMPRouter(mesh))
+        tables["tor0"].entries.pop(3)
+        driven = TableDrivenRouter(mesh, tables)
+        with pytest.raises(RoutingError):
+            driven.route("h0.0", "h3.0")
+
+    def test_loop_detected(self, mesh):
+        tables = compile_tables(mesh, ECMPRouter(mesh))
+        # Sabotage: tor0 → rack 3 points back and forth via tor1.
+        tables["tor0"].entries[3] = ("tor1",)
+        tables["tor1"].entries[3] = ("tor0",)
+        driven = TableDrivenRouter(mesh, tables)
+        with pytest.raises(RoutingError, match="loop"):
+            driven.route("h0.0", "h3.0")
+
+    def test_drives_the_packet_simulator(self, mesh):
+        driven = TableDrivenRouter(mesh, compile_tables(mesh, ECMPRouter(mesh)))
+        net = Network(mesh, driven)
+        packet = net.send("h0.0", "h4.1", 400)
+        net.run()
+        assert packet.delivered_at is not None

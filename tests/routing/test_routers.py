@@ -1,0 +1,194 @@
+"""Tests for the routing engines."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import (
+    AdaptiveVLBRouter,
+    ECMPRouter,
+    KShortestPathsRouter,
+    RoutingError,
+    SPAINRouter,
+    SpanningTreeRouter,
+    VLBRouter,
+    stable_hash,
+)
+from repro.units import GBPS
+
+
+@pytest.fixture()
+def mesh():
+    return T.full_mesh(5, 2)
+
+
+@pytest.fixture()
+def tree():
+    return T.three_tier_tree(num_pods=2, tors_per_pod=2, servers_per_tor=2)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_discriminates(self):
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+
+class TestECMP:
+    def test_mesh_always_uses_direct_path(self, mesh):
+        router = ECMPRouter(mesh)
+        # "Since there is a single shortest path between any pair of
+        # switches in a full mesh, ECMP always selects the direct
+        # one-hop path" (Section 3.4).
+        for flow in range(10):
+            path = router.route("h0.0", "h3.0", flow)
+            assert path == ("h0.0", "tor0", "tor3", "h3.0")
+
+    def test_tree_spreads_over_equal_cost_paths(self, tree):
+        router = ECMPRouter(tree)
+        paths = router.paths("h0.0", "h3.0")
+        assert len(paths) > 1
+        chosen = {router.route("h0.0", "h3.0", f) for f in range(50)}
+        assert len(chosen) > 1
+
+    def test_max_paths_bound(self, tree):
+        router = ECMPRouter(tree, max_paths=1)
+        assert len(router.paths("h0.0", "h3.0")) == 1
+
+    def test_invalid_max_paths(self, tree):
+        with pytest.raises(ValueError):
+            ECMPRouter(tree, max_paths=0)
+
+    def test_weighted_paths_even_split(self, tree):
+        router = ECMPRouter(tree)
+        weighted = router.weighted_paths("h0.0", "h3.0")
+        assert sum(w.weight for w in weighted) == pytest.approx(1.0)
+        assert len({w.weight for w in weighted}) == 1
+
+
+class TestVLB:
+    def test_paths_direct_first(self, mesh):
+        router = VLBRouter(mesh)
+        paths = router.paths("h0.0", "h3.0")
+        assert paths[0] == ("h0.0", "tor0", "tor3", "h3.0")
+        # 3 detours through the other mesh switches.
+        assert len(paths) == 4
+        assert all(len(p) == 5 for p in paths[1:])
+
+    def test_weights_match_direct_fraction(self, mesh):
+        router = VLBRouter(mesh, direct_fraction=0.4)
+        weighted = router.weighted_paths("h0.0", "h3.0")
+        assert weighted[0].weight == pytest.approx(0.4)
+        assert sum(w.weight for w in weighted) == pytest.approx(1.0)
+        for detour in weighted[1:]:
+            assert detour.weight == pytest.approx(0.6 / 3)
+
+    def test_full_direct_fraction_uses_single_path(self, mesh):
+        router = VLBRouter(mesh, direct_fraction=1.0)
+        weighted = router.weighted_paths("h0.0", "h3.0")
+        assert len(weighted) == 1
+
+    def test_same_rack_short_circuit(self, mesh):
+        router = VLBRouter(mesh)
+        assert router.paths("h0.0", "h0.1") == [("h0.0", "tor0", "h0.1")]
+
+    def test_route_split_roughly_matches_fraction(self, mesh):
+        router = VLBRouter(mesh, direct_fraction=0.5)
+        direct = sum(
+            1
+            for f in range(400)
+            if len(router.route("h0.0", "h3.0", f)) == 4
+        )
+        assert 120 <= direct <= 280  # ~50 % ± sampling noise
+
+    def test_invalid_fraction(self, mesh):
+        with pytest.raises(ValueError):
+            VLBRouter(mesh, direct_fraction=1.5)
+
+    def test_non_mesh_topology_rejected(self, tree):
+        with pytest.raises(RoutingError):
+            VLBRouter(tree)
+
+    def test_adaptive_stays_direct_under_light_load(self, mesh):
+        router = AdaptiveVLBRouter(mesh, offered_load_bps=1 * GBPS)
+        assert router.direct_fraction == 1.0
+
+    def test_adaptive_spills_under_heavy_load(self, mesh):
+        # 40 G offered over a 10 G channel at the default 90 % target:
+        # k = 0.9 × 10 / 40.
+        router = AdaptiveVLBRouter(mesh, offered_load_bps=40 * GBPS)
+        assert router.direct_fraction == pytest.approx(0.225)
+
+    def test_adaptive_target_is_configurable(self, mesh):
+        router = AdaptiveVLBRouter(
+            mesh, offered_load_bps=40 * GBPS, utilization_target=1.0
+        )
+        assert router.direct_fraction == pytest.approx(0.25)
+
+
+class TestSpanningTree:
+    def test_single_path_per_pair(self, mesh):
+        router = SpanningTreeRouter(mesh)
+        assert len(router.paths("h0.0", "h3.0")) == 1
+
+    def test_tree_only_uses_root_adjacent_mesh_links(self, mesh):
+        router = SpanningTreeRouter(mesh, root="tor0")
+        # In a BFS tree rooted at tor0, a path from rack 1 to rack 2
+        # detours through the root.
+        path = router.route("h1.0", "h2.0")
+        assert "tor0" in path
+
+    def test_unknown_root_rejected(self, mesh):
+        with pytest.raises(RoutingError):
+            SpanningTreeRouter(mesh, root="ghost")
+
+
+class TestKShortest:
+    def test_returns_k_paths(self, mesh):
+        router = KShortestPathsRouter(mesh, k=3)
+        assert len(router.paths("h0.0", "h3.0")) == 3
+
+    def test_paths_sorted_by_length(self, mesh):
+        router = KShortestPathsRouter(mesh, k=4)
+        lengths = [len(p) for p in router.paths("h0.0", "h3.0")]
+        assert lengths == sorted(lengths)
+
+    def test_invalid_k(self, mesh):
+        with pytest.raises(ValueError):
+            KShortestPathsRouter(mesh, k=0)
+
+
+class TestSPAIN:
+    def test_one_vlan_per_switch_by_default(self, mesh):
+        router = SPAINRouter(mesh)
+        assert router.num_vlans == 5
+
+    def test_vlan_selection_changes_path(self, mesh):
+        router = SPAINRouter(mesh)
+        direct = router.route_on_vlan("h0.0", "h3.0", router.best_vlan("h0.0", "h3.0"))
+        assert len(direct) == 4  # two-switch path
+        paths = {router.route_on_vlan("h0.0", "h3.0", v) for v in range(5)}
+        assert len(paths) > 1
+
+    def test_best_vlan_gives_direct_path(self, mesh):
+        router = SPAINRouter(mesh)
+        vlan = router.best_vlan("h0.0", "h3.0")
+        assert len(router.route_on_vlan("h0.0", "h3.0", vlan)) == 4
+
+    def test_vlan_out_of_range(self, mesh):
+        router = SPAINRouter(mesh)
+        with pytest.raises(RoutingError):
+            router.route_on_vlan("h0.0", "h3.0", 99)
+
+    def test_paths_are_deduplicated(self, mesh):
+        router = SPAINRouter(mesh)
+        paths = router.paths("h0.0", "h0.1")
+        assert len(paths) == len(set(paths))
+
+
+class TestRouterCaching:
+    def test_cache_returns_same_objects(self, mesh):
+        router = ECMPRouter(mesh)
+        first = router._cached_paths("h0.0", "h3.0")
+        second = router._cached_paths("h0.0", "h3.0")
+        assert first is second

@@ -1,0 +1,70 @@
+"""Tests for finite output-port buffers and tail drops."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim import Network, NetworkSimError, PoissonSource
+from repro.units import GBPS
+
+
+def burst(net, count=20, size=1500):
+    for _ in range(count):
+        net.send("h0.0", "h1.0", size)
+
+
+class TestTailDrop:
+    def test_default_is_unbounded(self):
+        topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo))
+        burst(net, count=100)
+        net.run()
+        assert net.packets_dropped == 0
+        assert net.packets_delivered == 100
+
+    def test_small_buffer_drops_burst_tail(self):
+        topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+        # Buffer of ~4 packets: a 20-packet back-to-back burst loses most.
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=6000)
+        burst(net, count=20)
+        net.run()
+        assert net.packets_dropped > 0
+        assert net.packets_delivered + net.packets_dropped == 20
+
+    def test_dropped_packets_are_not_recorded(self):
+        topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=3000)
+        burst(net, count=10)
+        net.run()
+        assert net.stats.count == net.packets_delivered
+
+    def test_bigger_buffer_fewer_drops(self):
+        def drops(buffer_bytes):
+            topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+            net = Network(topo, ECMPRouter(topo), buffer_bytes=buffer_bytes)
+            burst(net, count=30)
+            net.run()
+            return net.packets_dropped
+
+        assert drops(3000) > drops(15000) >= drops(60000)
+
+    def test_paced_traffic_does_not_drop(self):
+        topo = T.full_mesh(2, 1, link_rate=10 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=20 * 1500)
+        source = PoissonSource.at_bandwidth(net, "h0.0", "h1.0", 1 * GBPS, seed=1)
+        source.start()
+        net.run(until=0.005)
+        assert net.packets_dropped == 0
+
+    def test_drop_counted_per_port(self):
+        topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=3000)
+        burst(net, count=10)
+        net.run()
+        port = net._ports[("h0.0", "tor0")]
+        assert port.packets_dropped == net.packets_dropped
+
+    def test_invalid_buffer_rejected(self):
+        topo = T.full_mesh(2, 1)
+        with pytest.raises(NetworkSimError):
+            Network(topo, ECMPRouter(topo), buffer_bytes=0)

@@ -1,0 +1,99 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(2.0, fired.append, "b")
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(3.0, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        engine = Engine()
+        fired = []
+        for tag in "xyz":
+            engine.schedule(1.0, fired.append, tag)
+        engine.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.5]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            engine.schedule(1.0, lambda: fired.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == ["outer", "inner"]
+        assert engine.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_until_horizon_stops_and_advances_clock(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "early")
+        engine.schedule(10.0, fired.append, "late")
+        engine.run(until=5.0)
+        assert fired == ["early"]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_max_events_bound(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i + 1), fired.append, i)
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, fired.append, "no")
+        engine.schedule(2.0, fired.append, "yes")
+        event.cancel()
+        engine.run()
+        assert fired == ["yes"]
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_pending_count(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.pending() == 0

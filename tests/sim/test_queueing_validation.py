@@ -1,0 +1,59 @@
+"""Simulator validation against queueing theory.
+
+The paper: "We have performed extensive validation testing of our
+simulator to ensure that it produces correct results that match queuing
+theory."  These integration tests drive a single bottleneck link with
+Poisson arrivals and compare the measured queueing delay against the
+M/D/1 Pollaczek–Khinchine prediction at several utilizations.
+"""
+
+import pytest
+
+import repro.topology as T
+from repro.analysis.queueing import md1_mean_wait
+from repro.routing import ECMPRouter
+from repro.sim import Network, PoissonSource
+from repro.units import GBPS, serialization_delay
+
+
+def measured_queueing_delay(utilization: float, seed: int = 1) -> tuple[float, float]:
+    """(measured mean wait, predicted M/D/1 wait) on one 10 G link."""
+    size = 1250  # bytes → service time 1 µs at 10 Gbps
+    rate_bps = 10 * GBPS
+    service = serialization_delay(size, rate_bps)
+    arrival_rate = utilization / service
+
+    topo = T.full_mesh(2, 1, link_rate=rate_bps)
+    net = Network(topo, ECMPRouter(topo))
+
+    # Zero-load reference: a single packet's latency.
+    ref_net = Network(T.full_mesh(2, 1, link_rate=rate_bps), ECMPRouter(topo))
+    ref = ref_net.send("h0.0", "h1.0", size)
+    ref_net.run()
+
+    source = PoissonSource(
+        net, "h0.0", "h1.0", rate_pps=arrival_rate, size_bytes=size, seed=seed
+    )
+    source.start()
+    net.run(until=0.25)
+
+    measured_wait = net.stats.summary().mean - ref.latency
+    predicted_wait = md1_mean_wait(arrival_rate, service)
+    return measured_wait, predicted_wait
+
+
+class TestMD1Validation:
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+    def test_mean_wait_matches_pollaczek_khinchine(self, rho):
+        measured, predicted = measured_queueing_delay(rho)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_wait_grows_with_utilization(self):
+        w30, _ = measured_queueing_delay(0.3)
+        w70, _ = measured_queueing_delay(0.7)
+        assert w70 > 3 * w30
+
+    def test_light_load_has_negligible_wait(self):
+        measured, _ = measured_queueing_delay(0.05)
+        service = serialization_delay(1250, 10 * GBPS)
+        assert measured < 0.1 * service

@@ -1,0 +1,69 @@
+"""Tests for latency statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import LatencyRecorder, summarize_latencies
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_percentiles(self):
+        samples = [float(i) for i in range(1, 101)]
+        s = summarize_latencies(samples)
+        assert s.p50 == 50.0
+        assert s.p95 == 95.0
+        assert s.p99 == 99.0
+
+    def test_single_sample(self):
+        s = summarize_latencies([5.0])
+        assert s.std == 0.0
+        assert s.ci95_halfwidth == 0.0
+        assert s.p99 == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+    def test_property_bounds(self, samples):
+        s = summarize_latencies(samples)
+        eps = 1e-9 * max(1.0, s.maximum)  # float summation slack
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.minimum <= s.p50 <= s.p95 <= s.p99 <= s.maximum
+        assert s.std >= 0
+
+
+class TestRecorder:
+    def test_grouping(self):
+        rec = LatencyRecorder()
+        rec.record(1.0, group="a")
+        rec.record(3.0, group="b")
+        rec.record(2.0)
+        assert rec.count == 3
+        assert rec.summary("a").mean == 1.0
+        assert rec.summary().count == 3
+        assert rec.groups() == ["a", "b"]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_missing_group_raises(self):
+        rec = LatencyRecorder()
+        rec.record(1.0, group="a")
+        with pytest.raises(ValueError):
+            rec.summary("missing")
+
+    def test_clear(self):
+        rec = LatencyRecorder()
+        rec.record(1.0, group="a")
+        rec.clear()
+        assert rec.count == 0
+        assert rec.groups() == []

@@ -1,0 +1,42 @@
+"""Tests for the switch models (paper Table 16)."""
+
+import pytest
+
+from repro.sim.switch import CCS, SF_1G, SwitchModel, ULL, get_model, register_model
+from repro.units import MICROSECONDS, NANOSECONDS
+
+
+class TestTable16:
+    def test_ull_spec(self):
+        assert ULL.latency == pytest.approx(380 * NANOSECONDS)
+        assert ULL.cut_through
+        assert ULL.ports_10g == 64
+        assert ULL.ports_40g == 16
+
+    def test_ccs_spec(self):
+        assert CCS.latency == pytest.approx(6 * MICROSECONDS)
+        assert not CCS.cut_through
+        assert CCS.ports_10g == 768
+        assert CCS.ports_40g == 192
+
+    def test_prototype_switch_is_store_and_forward(self):
+        assert not SF_1G.cut_through
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_model("ULL") is ULL
+        assert get_model("CCS") is CCS
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("nonexistent")
+
+    def test_register_custom(self):
+        custom = SwitchModel("TEST40G", 200 * NANOSECONDS, True, 0, 32)
+        register_model(custom)
+        assert get_model("TEST40G") is custom
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchModel("bad", -1.0, True, 1, 1)

@@ -1,0 +1,116 @@
+"""Tests for latency decomposition (TracingNetwork)."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim.trace import LatencyBreakdown, TracingNetwork, format_breakdown
+from repro.units import GBPS, MICROSECONDS
+
+
+def traced_packet(topo, src, dst, size=400, extra=None, **kwargs):
+    net = TracingNetwork(topo, ECMPRouter(topo), **kwargs)
+    if extra is not None:
+        extra(net)
+    packet = net.send(src, dst, size, group="probe")
+    net.run()
+    return packet, net
+
+
+class TestComponentsSumToLatency:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: T.full_mesh(4, 1),
+            lambda: T.full_mesh(4, 1, switch_model="CCS"),
+            lambda: T.three_tier_tree(),
+            lambda: T.bcube(4, 1),
+        ],
+    )
+    def test_sum_matches_measured(self, build):
+        topo = build()
+        servers = topo.servers()
+        packet, net = traced_packet(topo, servers[0], servers[-1])
+        breakdown = net.breakdowns[packet.packet_id]
+        assert breakdown.total == pytest.approx(packet.latency, rel=1e-9)
+
+    def test_sum_matches_under_queueing(self):
+        topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+        net = TracingNetwork(topo, ECMPRouter(topo))
+        packets = [net.send("h0.0", "h1.0", 1500, group="p") for _ in range(10)]
+        net.run()
+        for packet in packets:
+            assert net.breakdowns[packet.packet_id].total == pytest.approx(
+                packet.latency, rel=1e-9
+            )
+
+
+class TestAttribution:
+    def test_ccs_core_dominates_tree_switching(self):
+        topo = T.three_tier_tree()
+        packet, net = traced_packet(topo, "h0.0", "h15.0")
+        breakdown = net.breakdowns[packet.packet_id]
+        # 4 ULL + 1 CCS: switching ≈ 7.5 µs, > 80 % of the total.
+        assert breakdown.switching == pytest.approx(4 * 380e-9 + 6e-6, rel=1e-6)
+        assert breakdown.switching > 0.8 * breakdown.total
+
+    def test_server_relay_counts_as_switching(self):
+        topo = T.bcube(4, 1)
+        packet, net = traced_packet(topo, "h0", "h5")
+        breakdown = net.breakdowns[packet.packet_id]
+        assert breakdown.switching > 15 * MICROSECONDS
+
+    def test_queueing_attributed_to_waiting(self):
+        topo = T.full_mesh(2, 1, link_rate=1 * GBPS)
+        net = TracingNetwork(topo, ECMPRouter(topo))
+        net.send("h0.0", "h1.0", 1500)
+        second = net.send("h0.0", "h1.0", 1500, group="p")
+        net.run()
+        breakdown = net.breakdowns[second.packet_id]
+        # Waited exactly one 1500 B serialization behind the first.
+        assert breakdown.queueing == pytest.approx(12e-6, rel=1e-6)
+
+    def test_uncongested_has_zero_queueing(self):
+        topo = T.full_mesh(4, 1)
+        packet, net = traced_packet(topo, "h0.0", "h3.0")
+        assert net.breakdowns[packet.packet_id].queueing == 0.0
+
+    def test_cut_through_serialization_less_than_store_forward(self):
+        ull_packet, ull_net = traced_packet(T.full_mesh(4, 1), "h0.0", "h3.0")
+        ccs_packet, ccs_net = traced_packet(
+            T.full_mesh(4, 1, switch_model="CCS"), "h0.0", "h3.0"
+        )
+        ull = ull_net.breakdowns[ull_packet.packet_id]
+        ccs = ccs_net.breakdowns[ccs_packet.packet_id]
+        assert ull.serialization < ccs.serialization
+
+
+class TestAggregation:
+    def test_mean_breakdown(self):
+        topo = T.full_mesh(3, 1)
+        net = TracingNetwork(topo, ECMPRouter(topo))
+        for _ in range(5):
+            net.send("h0.0", "h1.0", 400, group="a")
+        net.run()
+        mean = net.mean_breakdown("a")
+        assert mean.total > 0
+        assert len(net.breakdowns_by_group["a"]) == 5
+
+    def test_empty_aggregate_raises(self):
+        topo = T.full_mesh(3, 1)
+        net = TracingNetwork(topo, ECMPRouter(topo))
+        with pytest.raises(ValueError):
+            net.mean_breakdown()
+
+    def test_breakdown_arithmetic(self):
+        a = LatencyBreakdown(1.0, 2.0, 3.0, 4.0)
+        b = LatencyBreakdown(1.0, 1.0, 1.0, 1.0)
+        total = a + b
+        assert total.switching == 3.0
+        assert total.scaled(0.5).queueing == 2.0
+        assert total.total == 14.0
+
+    def test_format(self):
+        text = format_breakdown(LatencyBreakdown(1e-6, 2e-6, 0.0, 1e-7), "probe")
+        assert "probe" in text
+        assert "switch" in text

@@ -1,0 +1,143 @@
+"""Tests for the TCP-style transport."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim import Network
+from repro.sim.transport import TCPFlow, TransportError, bulk_tcp_flows
+from repro.units import GBPS, MBPS
+
+
+def make_net(link_rate=1 * GBPS, buffer_bytes=None, racks=2, servers=2):
+    topo = T.full_mesh(racks, servers, link_rate=link_rate)
+    return Network(topo, ECMPRouter(topo), buffer_bytes=buffer_bytes)
+
+
+class TestBasicTransfer:
+    def test_flow_completes(self):
+        net = make_net()
+        flow = TCPFlow(net, "h0.0", "h1.0", 150_000)
+        flow.start()
+        net.run(until=1.0)
+        assert flow.done
+        assert flow.delivered_bytes >= 150_000 - flow.mss
+
+    def test_completion_callback(self):
+        net = make_net()
+        finished = []
+        flow = TCPFlow(
+            net, "h0.0", "h1.0", 30_000,
+            on_complete=lambda f, t: finished.append(t),
+        )
+        flow.start()
+        net.run(until=1.0)
+        assert len(finished) == 1
+        assert finished[0] == flow.completed_at
+
+    def test_no_loss_no_retransmissions(self):
+        net = make_net()  # unbounded buffers
+        flow = TCPFlow(net, "h0.0", "h1.0", 300_000)
+        flow.start()
+        net.run(until=1.0)
+        assert flow.done
+        assert flow.retransmissions == 0
+        assert flow.timeouts == 0
+
+    def test_throughput_approaches_line_rate(self):
+        net = make_net(link_rate=1 * GBPS)
+        flow = TCPFlow(net, "h0.0", "h1.0", 2_000_000)
+        flow.start()
+        net.run(until=1.0)
+        assert flow.done
+        # ~16 ms of payload at 1 Gbps plus the slow-start ramp.
+        assert flow.throughput_bps() > 0.5 * GBPS
+
+    def test_slow_start_grows_window(self):
+        net = make_net()
+        flow = TCPFlow(net, "h0.0", "h1.0", 600_000, initial_cwnd=2)
+        flow.start()
+        net.run(until=1.0)
+        assert flow.done
+        assert flow.cwnd > 2
+
+
+class TestPacing:
+    def test_paced_flow_respects_rate(self):
+        net = make_net(link_rate=1 * GBPS)
+        flow = TCPFlow(net, "h0.0", "h1.0", 1_000_000, pacing_rate_bps=100 * MBPS)
+        flow.start()
+        net.run(until=1.0)
+        assert flow.done
+        # 8 Mbit at 100 Mb/s → ≥ 80 ms; throughput ≈ the pacing rate.
+        assert flow.throughput_bps() == pytest.approx(100 * MBPS, rel=0.2)
+
+    def test_invalid_pacing_rejected(self):
+        net = make_net()
+        with pytest.raises(TransportError):
+            TCPFlow(net, "h0.0", "h1.0", 1000, pacing_rate_bps=0)
+
+
+class TestLossRecovery:
+    def test_shallow_buffers_cause_retransmissions_but_flow_completes(self):
+        # Two flows into one receiver NIC with 4-packet buffers: drops
+        # are inevitable; both flows must still finish.
+        topo = T.full_mesh(3, 1, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=6_000)
+        flows = bulk_tcp_flows(
+            net, [("h0.0", "h2.0"), ("h1.0", "h2.0")], 400_000
+        )
+        for flow in flows:
+            flow.start()
+        net.run(until=5.0)
+        assert all(f.done for f in flows)
+        assert sum(f.retransmissions for f in flows) > 0
+        assert net.packets_dropped > 0
+
+    def test_loss_halves_window(self):
+        topo = T.full_mesh(3, 1, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=6_000)
+        flows = bulk_tcp_flows(net, [("h0.0", "h2.0"), ("h1.0", "h2.0")], 400_000)
+        for flow in flows:
+            flow.start()
+        net.run(until=5.0)
+        # At least one flow left slow start via a loss event.
+        assert any(f.ssthresh != float("inf") for f in flows)
+
+    def test_rto_recovers_from_total_blackout(self):
+        # Buffer of a single packet forces heavy loss including ACKs;
+        # timeouts must still drive the flow home.
+        topo = T.full_mesh(2, 2, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=1_600)
+        flow = TCPFlow(net, "h0.0", "h1.0", 60_000, initial_cwnd=20)
+        flow.start()
+        net.run(until=10.0)
+        assert flow.done
+
+
+class TestFairness:
+    def test_two_flows_share_a_bottleneck(self):
+        topo = T.full_mesh(2, 2, link_rate=1 * GBPS)
+        net = Network(topo, ECMPRouter(topo), buffer_bytes=30_000)
+        flows = bulk_tcp_flows(
+            net, [("h0.0", "h1.0"), ("h0.1", "h1.1")], 2_000_000
+        )
+        for flow in flows:
+            flow.start()
+        net.run(until=10.0)
+        assert all(f.done for f in flows)
+        rates = sorted(f.throughput_bps() for f in flows)
+        # Rough fairness: the slower flow gets at least a third of the
+        # faster one's goodput.
+        assert rates[0] > rates[1] / 3
+
+
+class TestValidation:
+    def test_invalid_sizes(self):
+        net = make_net()
+        with pytest.raises(TransportError):
+            TCPFlow(net, "h0.0", "h1.0", 0)
+        with pytest.raises(TransportError):
+            TCPFlow(net, "h0.0", "h1.0", 1000, mss=32)
+        with pytest.raises(TransportError):
+            TCPFlow(net, "h0.0", "h1.0", 1000, initial_cwnd=0)

@@ -1,0 +1,37 @@
+"""Tests for the latency-decomposition experiment."""
+
+import pytest
+
+from repro.experiments.breakdown import (
+    breakdown_table,
+    format_breakdown_table,
+    latency_breakdown,
+)
+
+
+class TestLatencyBreakdownExperiment:
+    def test_components_positive_and_consistent(self):
+        b = latency_breakdown("quartz in edge and core", duration=0.002)
+        assert b.total > 0
+        assert b.switching > 0
+        assert b.serialization > 0
+        assert b.propagation > 0
+        assert b.total == pytest.approx(
+            b.serialization + b.switching + b.queueing + b.propagation
+        )
+
+    def test_tree_switching_includes_ccs(self):
+        b = latency_breakdown("three-tier tree", duration=0.002)
+        assert b.switching > 6e-6
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            latency_breakdown("moebius strip")
+
+    def test_table_and_format(self):
+        table = breakdown_table(
+            ["three-tier tree", "quartz in edge and core"], duration=0.002
+        )
+        text = format_breakdown_table(table)
+        assert "three-tier tree" in text
+        assert "switch" in text

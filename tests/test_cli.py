@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlanCommand:
+    def test_summary_output(self, capsys):
+        assert main(["plan", "--ring-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "wavelengths (greedy):  9" in out
+        assert "fits one fibre (160 ch): yes" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["plan", "--ring-size", "6", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ring_size"] == 6
+
+    def test_ilp_method(self, capsys):
+        assert main(["plan", "--ring-size", "5", "--method", "ilp"]) == 0
+        assert "wavelengths (ilp)" in capsys.readouterr().out
+
+    def test_ilp_too_large_rejected(self, capsys):
+        assert main(["plan", "--ring-size", "20", "--method", "ilp"]) == 2
+        assert "small rings" in capsys.readouterr().err
+
+    def test_too_small_ring_rejected(self, capsys):
+        assert main(["plan", "--ring-size", "1"]) == 2
+
+    def test_over_fibre_limit_flagged(self, capsys):
+        assert main(["plan", "--ring-size", "36"]) == 0
+        assert "fits one fibre (160 ch): NO" in capsys.readouterr().out
+
+
+class TestDesignCommand:
+    def test_prints_table8(self, capsys):
+        assert main(["design"]) == 0
+        out = capsys.readouterr().out
+        assert "two-tier tree" in out
+        assert "Quartz in edge and core" in out
+
+
+class TestTopologyCommand:
+    def test_mesh_metrics(self, capsys):
+        assert main(["topology", "--name", "mesh"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case switch hops:  2" in out
+        assert "path diversity:          32" in out
+
+    def test_bcube_shows_server_relays(self, capsys):
+        assert main(["topology", "--name", "bcube"]) == 0
+        assert "server relay hops:       1" in capsys.readouterr().out
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "--name", "torus"])
+
+
+class TestExperimentCommand:
+    def test_figure_10(self, capsys):
+        assert main(["experiment", "--figure", "10"]) == 0
+        assert "normalized throughput" in capsys.readouterr().out
+
+    def test_figure_20(self, capsys):
+        assert main(["experiment", "--figure", "20"]) == 0
+        assert "quartz-vlb" in capsys.readouterr().out
+
+
+class TestScalingCommand:
+    def test_default_sweep(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "1056" in out  # the 64-port element
+
+    def test_custom_ports(self, capsys):
+        assert main(["scaling", "--ports", "32", "64"]) == 0
+        assert "1056" in capsys.readouterr().out
+
+    def test_invalid_port_count(self, capsys):
+        assert main(["scaling", "--ports", "7"]) == 2
+
+
+class TestExpandCommand:
+    def test_expansion_report(self, capsys):
+        assert main(["expand", "--from-size", "8", "--to-size", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "preserved:     28 channels" in out
+        assert "fits one fibre (160 ch): yes" in out
+
+    def test_shrink_rejected(self, capsys):
+        assert main(["expand", "--from-size", "12", "--to-size", "8"]) == 2
+
+    def test_tiny_start_rejected(self, capsys):
+        assert main(["expand", "--from-size", "1", "--to-size", "8"]) == 2
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.textplot import ChartError, Series, bar_chart, line_chart, sweep_to_series
+
+
+class TestLineChart:
+    def test_markers_and_legend_present(self):
+        chart = line_chart(
+            [
+                Series("tree", ((1, 7.0), (2, 8.0), (4, 9.0))),
+                Series("quartz", ((1, 2.0), (2, 2.1), (4, 2.2))),
+            ],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o tree" in chart
+        assert "x quartz" in chart
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert any("o" in row for row in plot_rows)
+        assert any("x" in row for row in plot_rows)
+
+    def test_axis_labels(self):
+        chart = line_chart(
+            [Series("a", ((0, 0.0), (10, 5.0)))],
+            x_label="tasks",
+            y_label="us",
+        )
+        assert "x: tasks" in chart
+        assert "y: us" in chart
+
+    def test_extremes_land_on_edges(self):
+        chart = line_chart([Series("a", ((0, 0.0), (10, 10.0)))], width=20, height=6)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert rows[0].rstrip().endswith("o")  # max value, top-right
+        assert rows[-1].split("|")[1][0] == "o"  # min value, bottom-left
+
+    def test_flat_series_renders(self):
+        chart = line_chart([Series("flat", ((1, 5.0), (2, 5.0)))])
+        assert "flat" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChartError):
+            line_chart([])
+        with pytest.raises(ChartError):
+            line_chart([Series("a", ())])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ChartError):
+            line_chart([Series("a", ((0, 1.0),))], width=5)
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart({"full": 1.0, "half": 0.5}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        chart = bar_chart({"a": 0.824}, fmt="{:.2f}")
+        assert "0.82" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChartError):
+            bar_chart({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ChartError):
+            bar_chart({"a": 0.0})
+
+
+class TestSweepAdapter:
+    def test_converts_sweep_points(self):
+        from repro.experiments.section7 import SweepPoint
+
+        sweep = {
+            "tree": [
+                SweepPoint("tree", "scatter", 1, 7e-6, (7e-6,)),
+                SweepPoint("tree", "scatter", 2, 8e-6, (8e-6,)),
+            ]
+        }
+        series = sweep_to_series(sweep)
+        assert series[0].label == "tree"
+        assert series[0].points == ((1, 7.0), (2, 8.0))

@@ -1,0 +1,97 @@
+"""Tests for topology metrics — the Table 9 reproduction machinery."""
+
+import pytest
+
+import repro.topology as T
+
+
+class TestHopCounts:
+    def test_mesh_is_two_switch_hops(self):
+        topo = T.full_mesh(6, 1)
+        assert T.switch_hops(topo, "h0.0", "h5.0") == 2
+
+    def test_same_rack_is_one_hop(self):
+        topo = T.full_mesh(4, 2)
+        assert T.switch_hops(topo, "h0.0", "h0.1") == 1
+
+    def test_two_tier_is_three_hops(self):
+        topo = T.two_tier_tree(4, 2)
+        assert T.switch_hops(topo, "h0.0", "h3.0") == 3
+
+    def test_three_tier_worst_case_is_five(self):
+        topo = T.three_tier_tree()
+        worst = T.worst_case_hop_profile(topo, sample=20)
+        assert worst.switch_hops == 5
+
+    def test_bcube_profile(self):
+        topo = T.bcube(4, 1)
+        profile = T.worst_case_hop_profile(topo)
+        assert profile.switch_hops == 2
+        assert profile.server_relay_hops == 1
+
+    def test_average_below_worst(self):
+        topo = T.three_tier_tree()
+        assert T.average_path_length(topo, sample=16) <= 7
+
+
+class TestPathDiversity:
+    def test_table9_values(self):
+        assert T.path_diversity(T.full_mesh(33, 1)) == 32
+        assert T.path_diversity(T.two_tier_tree(16, 1)) == 1
+        assert T.path_diversity(T.folded_clos(32, 16, 2, 1)) == 32
+        assert T.path_diversity(T.bcube(8, 1)) == 2
+
+    def test_jellyfish_bounded_by_degree(self):
+        topo = T.jellyfish(16, 4, 1, seed=0)
+        assert T.path_diversity(topo) <= 4
+
+    def test_explicit_pair(self):
+        topo = T.full_mesh(5, 1)
+        assert T.path_diversity(topo, "tor0", "tor1") == 4
+
+    def test_needs_two_endpoints(self):
+        topo = T.full_mesh(2, 1)
+        assert T.path_diversity(topo) == 1
+
+
+class TestWiringComplexity:
+    def test_table9_values(self):
+        assert T.wiring_complexity(T.full_mesh(33, 1)) == 528
+        assert T.wiring_complexity(T.two_tier_tree(16, 1)) == 16
+        # Folded Clos with 2 parallel cables per pair: 32 × 16 × 2.
+        assert T.wiring_complexity(T.folded_clos(32, 16, 2, 1)) == 1024
+
+    def test_jellyfish_counts_random_links(self):
+        topo = T.jellyfish(24, 20, 1, seed=1)
+        assert T.wiring_complexity(topo) == 240
+
+    def test_host_links_do_not_count(self):
+        topo = T.full_mesh(3, 5)
+        assert T.wiring_complexity(topo) == 3
+
+
+class TestSummaries:
+    def test_summarize_mesh(self):
+        row = T.summarize(T.full_mesh(33, 1), hop_sample=33)
+        assert row.switch_hops == 2
+        assert row.num_switches == 33
+        assert row.wiring_complexity == 528
+        assert row.path_diversity == 32
+
+    def test_switch_count(self):
+        assert T.switch_count(T.three_tier_tree()) == 22
+
+
+class TestBisectionCapacity:
+    def test_mesh_bisection(self):
+        from repro.units import GBPS
+
+        topo = T.full_mesh(4, 1, link_rate=10 * GBPS)
+        # Cut racks {0,1} | {2,3}: 4 mesh links cross.
+        assert T.bisection_capacity(topo) == 4 * 10 * GBPS
+
+    def test_two_tier_counts_half_of_root_links(self):
+        from repro.units import GBPS
+
+        topo = T.two_tier_tree(4, 1, uplink_rate=40 * GBPS)
+        assert T.bisection_capacity(topo) == 2 * 40 * GBPS

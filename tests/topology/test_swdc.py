@@ -1,0 +1,65 @@
+"""Tests for the SWDC small-world topology."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import average_path_length, swdc_ring
+from repro.topology.base import LinkKind
+
+
+class TestConstruction:
+    def test_marked_server_centric(self):
+        assert swdc_ring(16).graph.graph["server_centric"]
+
+    def test_ring_lattice_present(self):
+        topo = swdc_ring(16, regular_degree=2, random_links_per_server=0)
+        for i in range(16):
+            assert topo.graph.has_edge(f"h{i}", f"h{(i + 1) % 16}")
+
+    def test_random_links_added(self):
+        topo = swdc_ring(32, random_links_per_server=2, seed=3)
+        random_links = [l for l in topo.links() if l.link_kind is LinkKind.RANDOM]
+        # Some collisions/self-targets are skipped, but most links land.
+        assert len(random_links) >= 32
+
+    def test_deterministic_per_seed(self):
+        a = swdc_ring(24, seed=5)
+        b = swdc_ring(24, seed=5)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_each_server_has_a_tor(self):
+        topo = swdc_ring(16, servers_per_rack=4)
+        assert len(topo.switches()) == 4
+        for server in topo.servers():
+            assert topo.tor_of(server)
+
+
+class TestSmallWorldProperty:
+    def test_long_links_shorten_paths(self):
+        lattice = swdc_ring(64, random_links_per_server=0, seed=1)
+        small_world = swdc_ring(64, random_links_per_server=2, seed=1)
+        assert average_path_length(small_world, sample=24) < average_path_length(
+            lattice, sample=24
+        )
+
+    def test_connected(self):
+        topo = swdc_ring(48, seed=2)
+        assert nx.is_connected(topo.graph)
+
+
+class TestValidation:
+    def test_too_few_servers(self):
+        with pytest.raises(ValueError):
+            swdc_ring(2)
+
+    def test_uneven_racks_rejected(self):
+        with pytest.raises(ValueError):
+            swdc_ring(10, servers_per_rack=4)
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            swdc_ring(16, regular_degree=3)
+
+    def test_negative_random_links_rejected(self):
+        with pytest.raises(ValueError):
+            swdc_ring(16, random_links_per_server=-1)

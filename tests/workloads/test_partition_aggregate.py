@@ -1,0 +1,99 @@
+"""Tests for the partition/aggregate query workload."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim import Network
+from repro.workloads.partition_aggregate import (
+    PartitionAggregateQuery,
+    QueryError,
+    QueryTree,
+    spread_query_tree,
+)
+
+
+@pytest.fixture()
+def net():
+    topo = T.quartz_ring(8, 4)
+    return Network(topo, ECMPRouter(topo))
+
+
+@pytest.fixture()
+def tree(net):
+    return spread_query_tree(net.topo, aggregators=2, workers_per_aggregator=3, seed=1)
+
+
+class TestQueryTree:
+    def test_exchange_count(self, tree):
+        # 2 aggregator edges + 6 worker edges → 16 messages per query.
+        assert tree.num_exchanges == 16
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTree("h0", {"h0": ("h1",)})
+
+    def test_empty_aggregators_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTree("h0", {})
+
+    def test_aggregator_without_workers_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTree("h0", {"h1": ()})
+
+    def test_spread_needs_enough_servers(self):
+        small = T.quartz_ring(2, 1)
+        with pytest.raises(QueryError):
+            spread_query_tree(small, aggregators=4, workers_per_aggregator=8)
+
+
+class TestQueryExecution:
+    def test_all_queries_complete(self, net, tree):
+        job = PartitionAggregateQuery(net, tree, num_queries=25)
+        job.start()
+        net.run()
+        assert job.completed == 25
+        assert len(job.completion_times) == 25
+
+    def test_completion_recorded_in_stats(self, net, tree):
+        job = PartitionAggregateQuery(net, tree, num_queries=10, group="q")
+        job.start()
+        net.run()
+        assert net.stats.summary("q").count == 10
+
+    def test_query_time_exceeds_two_rtts(self, net, tree):
+        # A query is two nested request/response exchanges.
+        job = PartitionAggregateQuery(net, tree, num_queries=5)
+        job.start()
+        net.run()
+        one_way = net.send(tree.frontend, next(iter(tree.workers_by_aggregator)), 300)
+        net.run()
+        assert min(job.completion_times) > 3 * one_way.latency
+
+    def test_deeper_fanout_is_slower(self, net):
+        narrow = spread_query_tree(net.topo, 1, 2, seed=2)
+        wide = spread_query_tree(net.topo, 2, 8, seed=3)
+        job_narrow = PartitionAggregateQuery(net, narrow, num_queries=10, group="n")
+        job_wide = PartitionAggregateQuery(net, wide, num_queries=10, group="w")
+        job_narrow.start()
+        job_wide.start()
+        net.run()
+        assert net.stats.summary("w").mean > net.stats.summary("n").mean
+
+    def test_zero_queries_rejected(self, net, tree):
+        with pytest.raises(QueryError):
+            PartitionAggregateQuery(net, tree, num_queries=0)
+
+    def test_quartz_faster_than_tree_for_queries(self):
+        results = {}
+        for name, topo in (
+            ("tree", T.three_tier_tree()),
+            ("quartz", T.quartz_in_edge_and_core()),
+        ):
+            network = Network(topo, ECMPRouter(topo))
+            tree_spec = spread_query_tree(topo, 2, 4, seed=4)
+            job = PartitionAggregateQuery(network, tree_spec, num_queries=20)
+            job.start()
+            network.run()
+            results[name] = sum(job.completion_times) / len(job.completion_times)
+        assert results["quartz"] < results["tree"]

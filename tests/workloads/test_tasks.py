@@ -1,0 +1,130 @@
+"""Tests for scatter/gather/scatter-gather tasks."""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim import Network
+from repro.units import MBPS
+from repro.workloads.tasks import (
+    ScatterGatherTask,
+    StreamingTask,
+    TaskError,
+    TaskSpec,
+    build_task,
+    random_task,
+)
+
+
+@pytest.fixture()
+def topo():
+    return T.quartz_in_edge_and_core()
+
+
+@pytest.fixture()
+def net(topo):
+    return Network(topo, ECMPRouter(topo))
+
+
+class TestTaskSpec:
+    def test_invalid_kind(self):
+        with pytest.raises(TaskError):
+            TaskSpec("broadcast", "h0.0", ("h1.0",))
+
+    def test_hub_cannot_be_peer(self):
+        with pytest.raises(TaskError):
+            TaskSpec("scatter", "h0.0", ("h0.0",))
+
+    def test_needs_peers(self):
+        with pytest.raises(TaskError):
+            TaskSpec("scatter", "h0.0", ())
+
+
+class TestRandomTask:
+    def test_global_placement_unique_participants(self, topo):
+        spec = random_task(topo, "scatter", fan=6, seed=1)
+        assert len({spec.hub, *spec.peers}) == 7
+
+    def test_localized_placement_within_window(self, topo):
+        spec = random_task(topo, "gather", fan=4, seed=2, rack_window=2)
+        racks = sorted({topo.rack(s) for s in (spec.hub, *spec.peers)})
+        assert racks[-1] - racks[0] <= 1
+
+    def test_deterministic(self, topo):
+        assert random_task(topo, "scatter", 5, seed=3) == random_task(
+            topo, "scatter", 5, seed=3
+        )
+
+    def test_window_too_large(self, topo):
+        with pytest.raises(TaskError):
+            random_task(topo, "scatter", 4, rack_window=999)
+
+    def test_fan_too_large(self, topo):
+        with pytest.raises(TaskError):
+            random_task(topo, "scatter", fan=10_000)
+
+
+class TestStreamingTask:
+    def test_scatter_streams_from_hub(self, net, topo):
+        spec = random_task(topo, "scatter", fan=4, seed=4)
+        task = StreamingTask(net, spec, per_stream_bandwidth_bps=50 * MBPS, group="t")
+        task.start()
+        net.run(until=0.002)
+        assert task.packets_sent > 0
+        assert all(s.src == spec.hub for s in task.sources)
+
+    def test_gather_streams_to_hub(self, net, topo):
+        spec = random_task(topo, "gather", fan=4, seed=5)
+        task = StreamingTask(net, spec, per_stream_bandwidth_bps=50 * MBPS, group="t")
+        task.start()
+        net.run(until=0.002)
+        assert all(s._dsts == [spec.hub] for s in task.sources)
+        assert net.stats.summary("t").count > 0
+
+    def test_wrong_kind_rejected(self, net, topo):
+        spec = random_task(topo, "scatter_gather", fan=3, seed=6)
+        with pytest.raises(TaskError):
+            StreamingTask(net, spec, 1 * MBPS)
+
+
+class TestScatterGatherTask:
+    def test_completes_all_rounds(self, net, topo):
+        spec = random_task(topo, "scatter_gather", fan=4, seed=7)
+        task = ScatterGatherTask(net, spec, rounds=10, group="sg")
+        task.start()
+        net.run()
+        assert task.completed_rounds == 10
+        # 10 rounds × 4 peers × 2 directions.
+        assert net.stats.summary("sg").count == 80
+
+    def test_rounds_are_sequential(self, net, topo):
+        spec = random_task(topo, "scatter_gather", fan=2, seed=8)
+        task = ScatterGatherTask(net, spec, rounds=3, group="sg")
+        task.start()
+        net.run(until=1e-5)
+        partial = task.completed_rounds
+        net.run()
+        assert task.completed_rounds == 3
+        assert partial <= 3
+
+    def test_wrong_kind_rejected(self, net, topo):
+        spec = random_task(topo, "scatter", fan=3, seed=9)
+        with pytest.raises(TaskError):
+            ScatterGatherTask(net, spec)
+
+    def test_zero_rounds_rejected(self, net, topo):
+        spec = random_task(topo, "scatter_gather", fan=3, seed=10)
+        with pytest.raises(TaskError):
+            ScatterGatherTask(net, spec, rounds=0)
+
+
+class TestBuildTask:
+    def test_dispatch(self, net, topo):
+        streaming = build_task(
+            net, random_task(topo, "scatter", 3, seed=11), 10 * MBPS
+        )
+        sg = build_task(
+            net, random_task(topo, "scatter_gather", 3, seed=12), 10 * MBPS
+        )
+        assert isinstance(streaming, StreamingTask)
+        assert isinstance(sg, ScatterGatherTask)

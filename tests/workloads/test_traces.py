@@ -1,0 +1,118 @@
+"""Tests for synthetic flow traces."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.topology as T
+from repro.flowsim import FCTSimulator
+from repro.routing import ECMPRouter
+from repro.units import GBPS
+from repro.workloads.traces import (
+    TraceError,
+    mean_flow_size,
+    sample_flow_size,
+    synthetic_flow_trace,
+)
+
+
+class TestSizeSampling:
+    def test_websearch_mean_is_megabyte_scale(self):
+        mean = mean_flow_size("websearch", samples=20_000, seed=1)
+        assert 0.5e6 < mean < 5e6  # published mean ≈ 1.6 MB
+
+    def test_datamining_heavier_tail_than_websearch(self):
+        assert mean_flow_size("datamining", seed=1) > mean_flow_size(
+            "websearch", seed=1
+        )
+
+    def test_datamining_mostly_tiny_flows(self):
+        rng = random.Random(2)
+        sizes = [sample_flow_size("datamining", rng) for _ in range(5_000)]
+        small = sum(1 for s in sizes if s <= 10e3)
+        assert small / len(sizes) > 0.6
+
+    def test_uniform_is_constant(self):
+        rng = random.Random(0)
+        assert sample_flow_size("uniform", rng, uniform_bytes=42.0) == 42.0
+
+    def test_unknown_distribution(self):
+        with pytest.raises(TraceError):
+            sample_flow_size("pareto9000", random.Random(0))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sizes_within_distribution_bounds(self, seed):
+        rng = random.Random(seed)
+        size = sample_flow_size("websearch", rng)
+        assert 6e3 <= size <= 30e6
+
+
+class TestTraceGeneration:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return T.full_mesh(4, 4, link_rate=10 * GBPS)
+
+    def test_offered_load_calibrated(self, topo):
+        flows = synthetic_flow_trace(
+            topo, duration=0.5, load_fraction=0.3, line_rate_bps=10 * GBPS,
+            seed=3,
+        )
+        offered = sum(f.size_bytes * 8 for f in flows) / 0.5
+        target = 0.3 * 10 * GBPS * 16
+        assert offered == pytest.approx(target, rel=0.35)
+
+    def test_arrivals_sorted_and_within_duration(self, topo):
+        flows = synthetic_flow_trace(
+            topo, 0.1, 0.2, 10 * GBPS, seed=4
+        )
+        arrivals = [f.arrival for f in flows]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 0.1 for a in arrivals)
+
+    def test_no_self_flows(self, topo):
+        flows = synthetic_flow_trace(topo, 0.05, 0.2, 10 * GBPS, seed=5)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_rack_locality_biases_destinations(self, topo):
+        local = synthetic_flow_trace(
+            topo, 0.2, 0.2, 10 * GBPS, rack_locality=0.9, seed=6
+        )
+        remote = synthetic_flow_trace(
+            topo, 0.2, 0.2, 10 * GBPS, rack_locality=0.0, seed=6
+        )
+
+        def local_share(flows):
+            same = sum(1 for f in flows if topo.rack(f.src) == topo.rack(f.dst))
+            return same / len(flows)
+
+        assert local_share(local) > local_share(remote) + 0.3
+
+    def test_deterministic(self, topo):
+        a = synthetic_flow_trace(topo, 0.05, 0.2, 10 * GBPS, seed=7)
+        b = synthetic_flow_trace(topo, 0.05, 0.2, 10 * GBPS, seed=7)
+        assert a == b
+
+    def test_invalid_parameters(self, topo):
+        with pytest.raises(TraceError):
+            synthetic_flow_trace(topo, 0, 0.2, 10 * GBPS)
+        with pytest.raises(TraceError):
+            synthetic_flow_trace(topo, 1, 0.0, 10 * GBPS)
+        with pytest.raises(TraceError):
+            synthetic_flow_trace(topo, 1, 0.2, 10 * GBPS, rack_locality=2)
+
+
+class TestEndToEnd:
+    def test_trace_runs_through_fct_simulator(self):
+        topo = T.full_mesh(4, 2, link_rate=10 * GBPS)
+        flows = synthetic_flow_trace(
+            topo, duration=0.02, load_fraction=0.2,
+            line_rate_bps=10 * GBPS, distribution="websearch", seed=8,
+        )
+        sim = FCTSimulator(topo, ECMPRouter(topo))
+        done = sim.run(flows)
+        assert len(done) == len(flows)
+        for completion in done:
+            line_floor = completion.size_bytes * 8 / (10 * GBPS)
+            assert completion.fct >= line_floor - 1e-9
