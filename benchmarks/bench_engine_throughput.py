@@ -1,0 +1,112 @@
+"""Engine and sweep throughput: before/after the hot-path overhaul.
+
+Measures the three levels the overhaul targeted and renders them against
+the seed-tree baselines (measured on this container at commit 357d95d,
+before the rewrite):
+
+* raw engine event dispatch (self-rescheduling ticks), both the
+  handle-returning ``schedule`` path and the fire-and-forget ``call_at``
+  path the packet hot loop uses;
+* end-to-end packet simulation (the Figure 20 quartz-ecmp cell at
+  30 Gb/s for 4 ms of simulated time);
+* a 4-seed Figure 17 scatter mini-sweep, serial and ``workers=4``.
+
+The acceptance gate asserts the hot-path dispatch rate at ≥ 1.3× seed.
+"""
+
+import time
+
+from repro.experiments import figure17_sweep
+from repro.experiments.pathological import run_pathological
+from repro.sim.engine import Engine
+from repro.units import GBPS
+
+# Seed-tree baselines, measured on this container before the overhaul.
+SEED_ENGINE_EVENTS_PER_SEC = 869_611
+SEED_PACKET_SIM_SECONDS = 0.73
+SEED_SWEEP_SECONDS = 7.59
+
+TICKS = 200_000
+SWEEP_TOPOLOGIES = ["three-tier tree", "quartz in edge and core"]
+SWEEP_SEEDS = (0, 1, 2, 3)
+
+
+def _events_per_sec(use_call_at: bool, ticks: int = TICKS) -> float:
+    """Dispatch rate of a self-rescheduling tick chain."""
+    engine = Engine()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < ticks:
+            if use_call_at:
+                engine.call_at(engine.now + 1e-6, tick)
+            else:
+                engine.schedule(1e-6, tick)
+
+    engine.call_at(0.0, tick)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return count / elapsed
+
+
+def bench_engine_throughput(benchmark, report):
+    call_at_rate = benchmark.pedantic(
+        lambda: _events_per_sec(use_call_at=True), rounds=3, iterations=1
+    )
+    schedule_rate = _events_per_sec(use_call_at=False)
+
+    start = time.perf_counter()
+    result = run_pathological("quartz-ecmp", 30 * GBPS, duration=0.004)
+    sim_seconds = time.perf_counter() - start
+    packets = result.summary.count
+
+    start = time.perf_counter()
+    serial = figure17_sweep(
+        SWEEP_TOPOLOGIES, "scatter", [1, 2], seeds=SWEEP_SEEDS, workers=1
+    )
+    sweep_serial = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = figure17_sweep(
+        SWEEP_TOPOLOGIES, "scatter", [1, 2], seeds=SWEEP_SEEDS, workers=4
+    )
+    sweep_parallel = time.perf_counter() - start
+    assert {t: [p.mean_latency for p in pts] for t, pts in parallel.items()} == {
+        t: [p.mean_latency for p in pts] for t, pts in serial.items()
+    }
+
+    lines = [
+        "Engine throughput: seed tree vs hot-path overhaul",
+        f"{'metric':<44}{'seed':>12}{'now':>12}{'speedup':>9}",
+        "-" * 77,
+        f"{'raw engine, call_at path (events/s)':<44}"
+        f"{SEED_ENGINE_EVENTS_PER_SEC:>12,.0f}{call_at_rate:>12,.0f}"
+        f"{call_at_rate / SEED_ENGINE_EVENTS_PER_SEC:>8.2f}x",
+        f"{'raw engine, schedule path (events/s)':<44}"
+        f"{SEED_ENGINE_EVENTS_PER_SEC:>12,.0f}{schedule_rate:>12,.0f}"
+        f"{schedule_rate / SEED_ENGINE_EVENTS_PER_SEC:>8.2f}x",
+        f"{'fig20 cell, 30G/4ms, ' + f'{packets:,} pkts (s)':<44}"
+        f"{SEED_PACKET_SIM_SECONDS:>12.2f}{sim_seconds:>12.2f}"
+        f"{SEED_PACKET_SIM_SECONDS / sim_seconds:>8.2f}x",
+        f"{'fig17 mini-sweep, serial (s)':<44}"
+        f"{SEED_SWEEP_SECONDS:>12.2f}{sweep_serial:>12.2f}"
+        f"{SEED_SWEEP_SECONDS / sweep_serial:>8.2f}x",
+        f"{'fig17 mini-sweep, workers=4 (s)':<44}"
+        f"{SEED_SWEEP_SECONDS:>12.2f}{sweep_parallel:>12.2f}"
+        f"{SEED_SWEEP_SECONDS / sweep_parallel:>8.2f}x",
+        "",
+        "Seed numbers were measured on this container at the pre-overhaul",
+        "tree (commit 357d95d).  The two sweep rows time the same cells;",
+        "on a multi-core box the workers=4 row additionally divides by the",
+        "core count, but this container exposes a single CPU, so its gain",
+        "over the serial row is negligible and the recorded speedup comes",
+        "from the hot-path and routing work.  Parallel and serial sweep",
+        "results are asserted identical before reporting.",
+    ]
+    report("engine_throughput", "\n".join(lines))
+
+    # Acceptance gate: the dispatch path the packet hot loop uses must be
+    # at least 1.3x the seed engine.
+    assert call_at_rate >= 1.3 * SEED_ENGINE_EVENTS_PER_SEC

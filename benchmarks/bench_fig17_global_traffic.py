@@ -10,7 +10,12 @@ added.
 """
 
 from repro.experiments import figure17_sweep, format_sweep
+from repro.runner import default_workers
 from repro.textplot import line_chart, sweep_to_series
+
+#: Sweep cells fan out over this many processes (REPRO_WORKERS to pin);
+#: the results are bit-identical to a serial run.
+WORKERS = default_workers()
 
 
 def _render(series, title):
@@ -63,7 +68,7 @@ def _assert_paper_shape(series):
 
 def bench_fig17a_scatter(benchmark, report):
     series = benchmark.pedantic(
-        lambda: figure17_sweep(TOPOLOGIES, "scatter", [1, 2, 4, 8]),
+        lambda: figure17_sweep(TOPOLOGIES, "scatter", [1, 2, 4, 8], workers=WORKERS),
         rounds=1, iterations=1,
     )
     report("fig17a_scatter", _render(series, "Figure 17(a): global scatter (us)"))
@@ -72,7 +77,7 @@ def bench_fig17a_scatter(benchmark, report):
 
 def bench_fig17b_gather(benchmark, report):
     series = benchmark.pedantic(
-        lambda: figure17_sweep(TOPOLOGIES, "gather", [1, 2, 4, 8]),
+        lambda: figure17_sweep(TOPOLOGIES, "gather", [1, 2, 4, 8], workers=WORKERS),
         rounds=1, iterations=1,
     )
     report("fig17b_gather", _render(series, "Figure 17(b): global gather (us)"))
@@ -81,7 +86,7 @@ def bench_fig17b_gather(benchmark, report):
 
 def bench_fig17c_scatter_gather(benchmark, report):
     series = benchmark.pedantic(
-        lambda: figure17_sweep(TOPOLOGIES, "scatter_gather", [1, 2, 4]),
+        lambda: figure17_sweep(TOPOLOGIES, "scatter_gather", [1, 2, 4], workers=WORKERS),
         rounds=1, iterations=1,
     )
     report(

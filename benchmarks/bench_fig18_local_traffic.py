@@ -11,11 +11,15 @@ Quartz variants are the fastest and flattest.
 
 from repro.textplot import line_chart, sweep_to_series
 from repro.experiments import (
-    figure17_sweep,
     figure18_sweep,
     format_sweep,
     run_task_experiment,
 )
+from repro.runner import default_workers
+
+#: Sweep cells fan out over this many processes (REPRO_WORKERS to pin);
+#: the results are bit-identical to a serial run.
+WORKERS = default_workers()
 
 TOPOLOGIES = [
     "three-tier tree",
@@ -43,7 +47,9 @@ def _assert_paper_shape(series):
 
 def bench_fig18a_scatter(benchmark, report):
     series = benchmark.pedantic(
-        lambda: figure18_sweep(TOPOLOGIES, "scatter", [1, 2, 4, 6], seeds=SEEDS),
+        lambda: figure18_sweep(
+            TOPOLOGIES, "scatter", [1, 2, 4, 6], seeds=SEEDS, workers=WORKERS
+        ),
         rounds=1, iterations=1,
     )
     report(
@@ -57,7 +63,9 @@ def bench_fig18a_scatter(benchmark, report):
 
 def bench_fig18b_gather(benchmark, report):
     series = benchmark.pedantic(
-        lambda: figure18_sweep(TOPOLOGIES, "gather", [1, 2, 4, 6], seeds=SEEDS),
+        lambda: figure18_sweep(
+            TOPOLOGIES, "gather", [1, 2, 4, 6], seeds=SEEDS, workers=WORKERS
+        ),
         rounds=1, iterations=1,
     )
     report(
@@ -70,7 +78,7 @@ def bench_fig18b_gather(benchmark, report):
 def bench_fig18c_scatter_gather(benchmark, report):
     series = benchmark.pedantic(
         lambda: figure18_sweep(
-            TOPOLOGIES, "scatter_gather", [1, 2, 4], seeds=SEEDS
+            TOPOLOGIES, "scatter_gather", [1, 2, 4], seeds=SEEDS, workers=WORKERS
         ),
         rounds=1, iterations=1,
     )

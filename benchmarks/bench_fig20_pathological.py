@@ -10,13 +10,18 @@ latency when performing VLB routing").
 """
 
 from repro.experiments import figure20_sweep, format_figure20
+from repro.runner import default_workers
 from repro.textplot import Series, line_chart
 from repro.units import GBPS
+
+#: Sweep cells fan out over this many processes (REPRO_WORKERS to pin);
+#: the results are bit-identical to a serial run.
+WORKERS = default_workers()
 
 
 def bench_fig20(benchmark, report):
     results = benchmark.pedantic(
-        lambda: figure20_sweep([10, 20, 30, 40, 50]),
+        lambda: figure20_sweep([10, 20, 30, 40, 50], workers=WORKERS),
         rounds=1, iterations=1,
     )
     chart = line_chart(

@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind", choices=("scatter", "gather", "scatter_gather"),
         default="scatter", help="task kind for figures 17/18",
     )
+    exp.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes to fan the sweep over (0 = all CPUs / REPRO_WORKERS); "
+        "results are identical for any worker count",
+    )
 
     scale = sub.add_parser(
         "scaling", help="largest element per switch port count (Section 8)"
@@ -152,16 +157,33 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as E
+    from repro.runner import RunnerError
 
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers > 0 else None  # None = auto
+    try:
+        return _run_experiment(args, E, workers)
+    except RunnerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _run_experiment(args: argparse.Namespace, E, workers: int | None) -> int:
     if args.figure == "10":
-        print(E.format_figure10(E.figure10_sweep()))
+        print(E.format_figure10(E.figure10_sweep(workers=workers)))
     elif args.figure == "20":
-        print(E.format_figure20(E.figure20_sweep()))
+        print(E.format_figure20(E.figure20_sweep(workers=workers)))
     elif args.figure == "17":
-        series = E.figure17_sweep(kind=args.kind, task_counts=[1, 2, 4])
+        series = E.figure17_sweep(
+            kind=args.kind, task_counts=[1, 2, 4], workers=workers
+        )
         print(E.format_sweep(series, f"Figure 17 ({args.kind}), us per packet"))
     else:
-        series = E.figure18_sweep(kind=args.kind, task_counts=[1, 2, 4])
+        series = E.figure18_sweep(
+            kind=args.kind, task_counts=[1, 2, 4], workers=workers
+        )
         print(E.format_sweep(series, f"Figure 18 ({args.kind}), us per packet"))
     return 0
 

@@ -16,9 +16,11 @@ from repro.experiments.breakdown import (
     latency_breakdown,
 )
 from repro.experiments.bisection import (
+    FABRIC_BUILDERS,
     BisectionResult,
     figure10_sweep,
     format_figure10,
+    run_bisection_cell,
 )
 from repro.experiments.pathological import (
     PathologicalResult,
@@ -40,8 +42,10 @@ from repro.experiments.section7 import (
 
 __all__ = [
     "BisectionResult",
+    "FABRIC_BUILDERS",
     "PathologicalResult",
     "TOPOLOGY_BUILDERS",
+    "run_bisection_cell",
     "SweepPoint",
     "TaskExperimentResult",
     "breakdown_table",

@@ -14,6 +14,7 @@ from typing import Callable
 import repro.topology as T
 from repro.flowsim import evaluate, oversubscribed_fabric
 from repro.routing import DemandAwareVLBRouter, ECMPRouter
+from repro.runner import ExperimentSpec, run_cells
 from repro.topology.base import Topology
 from repro.units import GBPS
 from repro.workloads.patterns import (
@@ -46,10 +47,51 @@ class BisectionResult:
     normalized_throughput: float
 
 
+#: Fabric name → builder(num_racks, servers_per_rack).
+FABRIC_BUILDERS: dict[str, Callable[[int, int], Topology]] = {
+    "full bisection": lambda r, s: oversubscribed_fabric(r, s, 1.0),
+    "quartz": lambda r, s: T.quartz_ring(r, s),
+    "1/2 bisection": lambda r, s: oversubscribed_fabric(r, s, 0.5),
+    "1/4 bisection": lambda r, s: oversubscribed_fabric(r, s, 0.25),
+}
+
+
+def run_bisection_cell(
+    fabric: str,
+    pattern: str,
+    num_racks: int = 9,
+    servers_per_rack: int = 8,
+    seed: int = 0,
+) -> BisectionResult:
+    """One Figure 10 bar: build the fabric, offer the pattern, evaluate.
+
+    Self-contained (rebuilds topology and matrix from the arguments), so
+    it can run in a pool worker.
+    """
+    if fabric not in FABRIC_BUILDERS:
+        raise ValueError(f"unknown fabric {fabric!r}; options: {sorted(FABRIC_BUILDERS)}")
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}; options: {sorted(PATTERNS)}")
+    topo = FABRIC_BUILDERS[fabric](num_racks, servers_per_rack)
+    matrix = PATTERNS[pattern](topo, LINE_RATE, seed)
+    if fabric == "quartz":
+        router: ECMPRouter | DemandAwareVLBRouter = DemandAwareVLBRouter(topo, matrix)
+        outcome = evaluate(topo, router, matrix, LINE_RATE, multipath=True)
+    else:
+        router = ECMPRouter(topo)
+        outcome = evaluate(topo, router, matrix, LINE_RATE)
+    return BisectionResult(
+        fabric=fabric,
+        pattern=pattern,
+        normalized_throughput=outcome.normalized,
+    )
+
+
 def figure10_sweep(
     num_racks: int = 9,
     servers_per_rack: int = 8,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> list[BisectionResult]:
     """All Figure 10 bars: 4 fabrics × 3 patterns.
 
@@ -58,34 +100,26 @@ def figure10_sweep(
     capacity (``servers_per_rack = num_racks − 1``) — and routes with
     demand-aware VLB over one- and two-hop paths.  The reference fabrics
     route through their (scaled) non-blocking root.
+
+    Each bar is an independent :func:`run_bisection_cell`, fanned out
+    over :func:`repro.runner.run_cells`; results are bit-identical for
+    any ``workers`` count.
     """
-    quartz = T.quartz_ring(num_racks, servers_per_rack)
-    fabrics: list[tuple[str, Topology]] = [
-        ("full bisection", oversubscribed_fabric(num_racks, servers_per_rack, 1.0)),
-        ("quartz", quartz),
-        ("1/2 bisection", oversubscribed_fabric(num_racks, servers_per_rack, 0.5)),
-        ("1/4 bisection", oversubscribed_fabric(num_racks, servers_per_rack, 0.25)),
+    cells = [
+        ExperimentSpec(
+            run_bisection_cell,
+            args=(fabric, pattern),
+            kwargs={
+                "num_racks": num_racks,
+                "servers_per_rack": servers_per_rack,
+                "seed": seed,
+            },
+            label=f"fig10/{fabric}/{pattern}",
+        )
+        for pattern in PATTERNS
+        for fabric in FABRIC_BUILDERS
     ]
-    results = []
-    for pattern_name, generator in PATTERNS.items():
-        for fabric_name, topo in fabrics:
-            matrix = generator(topo, LINE_RATE, seed)
-            if fabric_name == "quartz":
-                router: ECMPRouter | DemandAwareVLBRouter = DemandAwareVLBRouter(
-                    topo, matrix
-                )
-                outcome = evaluate(topo, router, matrix, LINE_RATE, multipath=True)
-            else:
-                router = ECMPRouter(topo)
-                outcome = evaluate(topo, router, matrix, LINE_RATE)
-            results.append(
-                BisectionResult(
-                    fabric=fabric_name,
-                    pattern=pattern_name,
-                    normalized_throughput=outcome.normalized,
-                )
-            )
-    return results
+    return run_cells(cells, workers=workers)
 
 
 def format_figure10(results: list[BisectionResult]) -> str:

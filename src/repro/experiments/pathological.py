@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import repro.topology as T
 from repro.routing import AdaptiveVLBRouter, ECMPRouter, Router
+from repro.runner import ExperimentSpec, run_cells
 from repro.sim import Network, PoissonSource
 from repro.sim.stats import LatencySummary
 from repro.topology.base import LinkKind, NodeKind, Topology
@@ -115,17 +116,29 @@ def figure20_sweep(
     loads_gbps: list[float] | None = None,
     duration: float = 0.004,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> dict[str, list[PathologicalResult]]:
-    """The full Figure 20: latency vs offered load for all three fabrics."""
+    """The full Figure 20: latency vs offered load for all three fabrics.
+
+    Every (fabric, load) point is independent, so the grid fans out over
+    :func:`repro.runner.run_cells`; any ``workers`` count returns
+    bit-identical results.
+    """
     if loads_gbps is None:
         loads_gbps = [10, 20, 30, 40, 50]
-    out: dict[str, list[PathologicalResult]] = {}
-    for fabric in ("nonblocking", "quartz-ecmp", "quartz-vlb"):
-        out[fabric] = [
-            run_pathological(fabric, g * GBPS, duration=duration, seed=seed)
-            for g in loads_gbps
-        ]
-    return out
+    fabrics = ("nonblocking", "quartz-ecmp", "quartz-vlb")
+    cells = [
+        ExperimentSpec(
+            run_pathological,
+            args=(fabric, g * GBPS),
+            kwargs={"duration": duration, "seed": seed},
+            label=f"fig20/{fabric}/{g}G",
+        )
+        for fabric in fabrics
+        for g in loads_gbps
+    ]
+    results = iter(run_cells(cells, workers=workers))
+    return {fabric: [next(results) for _ in loads_gbps] for fabric in fabrics}
 
 
 def format_figure20(results: dict[str, list[PathologicalResult]]) -> str:

@@ -36,6 +36,7 @@ from typing import Callable
 
 import repro.topology as T
 from repro.routing import ECMPRouter
+from repro.runner import ExperimentSpec, run_cells
 from repro.sim import Network
 from repro.sim.stats import LatencySummary
 from repro.units import GBPS
@@ -188,18 +189,34 @@ def _sweep(
     task_counts: list[int],
     seeds: tuple[int, ...],
     localized: bool,
+    workers: int | None = 1,
     **kwargs: float,
 ) -> dict[str, list[SweepPoint]]:
+    """Run the (topology × task count × seed) grid, optionally in parallel.
+
+    Every cell is an independent :func:`run_task_experiment` call, so the
+    grid fans out over :func:`repro.runner.run_cells`; results come back
+    in grid order and are bit-identical to a serial sweep regardless of
+    ``workers``.
+    """
+    cells = [
+        ExperimentSpec(
+            run_task_experiment,
+            args=(topology, kind, n),
+            kwargs={"localized": localized, "seed": s, **kwargs},
+            label=f"{kind}/{topology}/tasks={n}/seed={s}",
+        )
+        for topology in topologies
+        for n in task_counts
+        for s in seeds
+    ]
+    results = iter(run_cells(cells, workers=workers))
+
     series: dict[str, list[SweepPoint]] = {}
     for topology in topologies:
         points = []
         for n in task_counts:
-            means = [
-                run_task_experiment(
-                    topology, kind, n, localized=localized, seed=s, **kwargs  # type: ignore[arg-type]
-                ).mean_latency
-                for s in seeds
-            ]
+            means = [next(results).mean_latency for _ in seeds]
             points.append(
                 SweepPoint(
                     topology=topology,
@@ -218,12 +235,15 @@ def figure17_sweep(
     kind: str = "scatter",
     task_counts: list[int] | None = None,
     seeds: tuple[int, ...] = (0,),
+    workers: int | None = 1,
     **kwargs: float,
 ) -> dict[str, list[SweepPoint]]:
     """One Figure 17 panel: latency vs #tasks per topology (global).
 
     Task placement is random; pass several ``seeds`` to average over
     placements (the paper averages many runs and shows 95 % CIs).
+    ``workers`` fans the grid out over processes (``None`` = all CPUs);
+    results are identical for any worker count.
     """
     if topologies is None:
         topologies = [
@@ -235,7 +255,10 @@ def figure17_sweep(
         ]
     if task_counts is None:
         task_counts = [1, 2, 4, 8] if kind != "scatter_gather" else [1, 2, 4]
-    return _sweep(topologies, kind, task_counts, seeds, localized=False, **kwargs)
+    return _sweep(
+        topologies, kind, task_counts, seeds, localized=False, workers=workers,
+        **kwargs,
+    )
 
 
 def figure18_sweep(
@@ -243,6 +266,7 @@ def figure18_sweep(
     kind: str = "scatter",
     task_counts: list[int] | None = None,
     seeds: tuple[int, ...] = (0, 1, 2),
+    workers: int | None = 1,
     **kwargs: float,
 ) -> dict[str, list[SweepPoint]]:
     """One Figure 18 panel: localized-task latency vs #background tasks.
@@ -261,7 +285,10 @@ def figure18_sweep(
         ]
     if task_counts is None:
         task_counts = [1, 2, 4, 6] if kind != "scatter_gather" else [1, 2, 4]
-    return _sweep(topologies, kind, task_counts, seeds, localized=True, **kwargs)
+    return _sweep(
+        topologies, kind, task_counts, seeds, localized=True, workers=workers,
+        **kwargs,
+    )
 
 
 def format_sweep(series: dict[str, list[SweepPoint]], title: str) -> str:

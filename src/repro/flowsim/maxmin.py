@@ -135,12 +135,10 @@ def max_min_rates(
         load = a @ rates
         saturated = load >= cap - 1e-6 * np.maximum(cap, 1.0)
         if saturated.any():
-            crossing = (a[saturated] @ active.astype(float)) > 0
-            if crossing.any():
-                touched = np.asarray(
-                    (a[saturated].T @ np.ones(int(saturated.sum()))) > 0
-                ).ravel()
-                active &= ~touched
+            touched = np.asarray(
+                (a[saturated].T @ np.ones(int(saturated.sum()))) > 0
+            ).ravel()
+            active &= ~touched
         if increment <= 0:
             # No progress possible (all remaining flows blocked).
             break

@@ -48,9 +48,14 @@ class WeightedPath:
 class Router(abc.ABC):
     """Base class: path selection over a topology."""
 
+    #: Cap on memoized per-flow route picks; hashing is re-done (still
+    #: deterministically) once a run has seen this many distinct flows.
+    ROUTE_CACHE_LIMIT = 1_000_000
+
     def __init__(self, topo: Topology) -> None:
         self.topo = topo
         self._cache: dict[tuple[str, str], list[Path]] = {}
+        self._route_cache: dict[tuple[str, str, int], Path] = {}
 
     # -- interface -------------------------------------------------------------
 
@@ -59,9 +64,19 @@ class Router(abc.ABC):
         """All paths this router may use between two servers (stable order)."""
 
     def route(self, src: str, dst: str, flow_id: int = 0) -> Path:
-        """The single path used by flow ``flow_id`` (hash-based pick)."""
-        options = self._cached_paths(src, dst)
-        return options[stable_hash(src, dst, flow_id) % len(options)]
+        """The single path used by flow ``flow_id`` (hash-based pick).
+
+        The pick is memoized per ``(src, dst, flow_id)`` — the stable
+        hash is pure, so caching it never changes which path a flow gets.
+        """
+        key = (src, dst, flow_id)
+        pick = self._route_cache.get(key)
+        if pick is None:
+            options = self._cached_paths(src, dst)
+            pick = options[stable_hash(src, dst, flow_id) % len(options)]
+            if len(self._route_cache) < self.ROUTE_CACHE_LIMIT:
+                self._route_cache[key] = pick
+        return pick
 
     def weighted_paths(self, src: str, dst: str) -> list[WeightedPath]:
         """Paths with traffic split weights; defaults to an even ECMP split."""

@@ -5,9 +5,20 @@ has a single shortest switch path between any ToR pair, ECMP always
 selects the direct one-hop channel, minimizing hop count and isolation
 from cross-traffic.  In multi-rooted trees ECMP spreads flows over the
 equal-cost up/down paths.
+
+Path computation is two-level.  Server-to-server shortest paths are
+derived from **switch-to-switch** shortest paths computed once per
+switch pair and stitched onto the server endpoints: every server pair
+behind the same two switches shares the same fabric segment, so a
+network with ``n`` switches and ``n·s`` servers solves ``n²`` switch
+pairs instead of ``(n·s)²`` server pairs.  Server-centric topologies
+(BCube/DCell), where servers relay traffic and the decomposition does
+not hold, fall back to whole-graph search.
 """
 
 from __future__ import annotations
+
+from itertools import islice
 
 import networkx as nx
 
@@ -19,7 +30,10 @@ class ECMPRouter(Router):
     """All-shortest-paths routing with per-flow hashing.
 
     ``max_paths`` bounds the equal-cost set (hardware ECMP tables are
-    finite); paths are kept in deterministic (lexicographic) order.
+    finite).  Enumeration is bounded too: only the first ``max_paths``
+    paths of ``networkx``'s deterministic shortest-path generator are
+    materialized (then sorted for a stable order), so dense meshes never
+    pay for paths that would be truncated away.
     """
 
     def __init__(self, topo: Topology, max_paths: int = 64) -> None:
@@ -27,8 +41,93 @@ class ECMPRouter(Router):
         if max_paths < 1:
             raise ValueError("max_paths must be at least 1")
         self.max_paths = max_paths
+        #: Whether server paths decompose into switch paths: servers
+        #: must be leaves (no server relaying, i.e. not server-centric).
+        self._stitchable = not bool(topo.graph.graph.get("server_centric"))
+        self._switch_graph: nx.Graph | None = None
+        self._switch_paths: dict[tuple[str, str], list[Path]] = {}
+
+    # -- path enumeration -----------------------------------------------------
 
     def paths(self, src: str, dst: str) -> list[Path]:
+        if (
+            self._stitchable
+            and src != dst
+            and self.topo.is_server(src)
+            and self.topo.is_server(dst)
+        ):
+            stitched = self._stitched_paths(src, dst)
+            if stitched is not None:
+                return stitched
+        return self._graph_paths(src, dst)
+
+    def _graph_paths(self, src: str, dst: str) -> list[Path]:
+        """Bounded whole-graph enumeration (the pre-stitching behaviour)."""
         found = nx.all_shortest_paths(self.topo.graph, src, dst)
-        paths = sorted(tuple(p) for p in found)
-        return paths[: self.max_paths]
+        paths = [tuple(p) for p in islice(found, self.max_paths)]
+        paths.sort()
+        return paths
+
+    def _stitched_paths(self, src: str, dst: str) -> list[Path] | None:
+        """Server paths via precomputed switch segments, or ``None`` when
+        the endpoints are not cleanly attached to switches."""
+        src_switches = self._attachments(src)
+        dst_switches = self._attachments(dst)
+        if not src_switches or not dst_switches:
+            return None
+
+        # Keep only the attachment pairs whose switch segment achieves
+        # the globally shortest server-to-server length (multi-homed
+        # servers may reach several switch pairs at different distances).
+        best: list[list[Path]] = []
+        best_len: int | None = None
+        for sw_s in src_switches:
+            for sw_d in dst_switches:
+                segment = self._switch_segment(sw_s, sw_d)
+                if not segment:
+                    continue
+                length = len(segment[0])
+                if best_len is None or length < best_len:
+                    best, best_len = [segment], length
+                elif length == best_len:
+                    best.append(segment)
+        if best_len is None:
+            return []
+
+        stitched = [
+            (src, *segment, dst) for group in best for segment in group
+        ]
+        stitched.sort()
+        return stitched[: self.max_paths]
+
+    # -- shared switch-level computation --------------------------------------
+
+    def _attachments(self, server: str) -> list[str]:
+        """The switches a server hangs off, in stable order."""
+        graph = self.topo.graph
+        switches = [n for n in graph.neighbors(server) if self.topo.is_switch(n)]
+        if len(switches) != graph.degree(server):
+            return []  # attached to a non-switch: not stitchable
+        switches.sort()
+        return switches
+
+    def _switch_segment(self, sw_s: str, sw_d: str) -> list[Path]:
+        """All (bounded) shortest switch-to-switch paths, computed once
+        per ordered switch pair and shared by every server pair behind
+        them."""
+        key = (sw_s, sw_d)
+        cached = self._switch_paths.get(key)
+        if cached is None:
+            if sw_s == sw_d:
+                cached = [(sw_s,)]
+            else:
+                if self._switch_graph is None:
+                    self._switch_graph = self.topo.switch_graph()
+                try:
+                    found = nx.all_shortest_paths(self._switch_graph, sw_s, sw_d)
+                    cached = [tuple(p) for p in islice(found, self.max_paths)]
+                    cached.sort()
+                except nx.NetworkXNoPath:
+                    cached = []
+            self._switch_paths[key] = cached
+        return cached

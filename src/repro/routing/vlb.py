@@ -74,17 +74,25 @@ class VLBRouter(Router):
         """Pick the direct path with probability ``direct_fraction``.
 
         The pick is a deterministic hash of the flow key, so a given
-        flow is pinned to one path (no in-flow reordering).
+        flow is pinned to one path (no in-flow reordering).  Picks are
+        memoized per flow key, like :meth:`Router.route`.
         """
+        key = (src, dst, flow_id)
+        pick = self._route_cache.get(key)
+        if pick is not None:
+            return pick
         options = self._cached_paths(src, dst)
         direct = options[0]
         detours = options[1:]
         if not detours:
-            return direct
-        draw = stable_hash(src, dst, flow_id, "vlb") % 10_000
-        if draw < self.direct_fraction * 10_000:
-            return direct
-        return detours[stable_hash(src, dst, flow_id, "detour") % len(detours)]
+            pick = direct
+        elif stable_hash(src, dst, flow_id, "vlb") % 10_000 < self.direct_fraction * 10_000:
+            pick = direct
+        else:
+            pick = detours[stable_hash(src, dst, flow_id, "detour") % len(detours)]
+        if len(self._route_cache) < self.ROUTE_CACHE_LIMIT:
+            self._route_cache[key] = pick
+        return pick
 
 
 class AdaptiveVLBRouter(VLBRouter):

@@ -1,0 +1,30 @@
+"""Parallel experiment runner.
+
+The evaluation sweeps (Figures 10, 17, 18, 20) are embarrassingly
+parallel: every ``(topology, kind, num_tasks, seed)`` cell builds its
+own topology, router and event engine, so cells share no state.  This
+package fans independent cells out over a process pool while keeping
+results **bit-identical** to a serial run — see :func:`run_cells`.
+
+Usage::
+
+    from repro.runner import ExperimentSpec, run_cells
+
+    cells = [ExperimentSpec(run_task_experiment, args=("jellyfish", "scatter", n),
+                            kwargs={"seed": s}) for n in counts for s in seeds]
+    results = run_cells(cells, workers=8)   # same order as ``cells``
+"""
+
+from repro.runner.pool import (
+    ExperimentSpec,
+    RunnerError,
+    default_workers,
+    run_cells,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "RunnerError",
+    "default_workers",
+    "run_cells",
+]

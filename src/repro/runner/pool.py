@@ -1,0 +1,99 @@
+"""Process-pool fan-out for independent experiment cells.
+
+Determinism contract
+--------------------
+``run_cells`` returns results **in the order the cells were given**, and
+every cell function must be a pure function of its spec (build its own
+topology, router, engine and RNGs from the spec's arguments).  Under
+those rules the parallel schedule cannot influence any result, so
+``run_cells(cells, workers=n)`` is bit-identical to
+``run_cells(cells, workers=1)`` for every ``n`` — verified by
+``tests/runner/test_parallel.py``.
+
+Workers are separate processes (``concurrent.futures``), so cell
+functions and their arguments/results must be picklable: module-level
+functions with plain-data arguments.  ``workers=1`` runs everything in
+the calling process with no pool (and no pickling), which is also the
+fallback when only one cell is given.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+class RunnerError(ValueError):
+    """Raised for invalid runner configurations."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One independent experiment cell: ``fn(*args, **kwargs)``.
+
+    ``fn`` must be picklable (a module-level callable) and pure —
+    everything the cell computes must derive from ``args``/``kwargs``.
+    ``label`` is carried along for progress reporting and error
+    messages; it does not affect execution.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def default_workers() -> int:
+    """Worker count used when callers pass ``workers=None``.
+
+    The ``REPRO_WORKERS`` environment variable wins when set (so CI and
+    benchmarks can pin parallelism); otherwise all visible CPUs.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise RunnerError(f"REPRO_WORKERS must be an integer, got {env!r}")
+        if workers < 1:
+            raise RunnerError(f"REPRO_WORKERS must be at least 1, got {workers}")
+        return workers
+    return os.cpu_count() or 1
+
+
+def run_cells(
+    cells: Sequence[ExperimentSpec],
+    workers: int | None = 1,
+) -> list[Any]:
+    """Run every cell and return their results in input order.
+
+    ``workers=1`` (the default) runs serially in-process;
+    ``workers=None`` uses :func:`default_workers`; anything larger fans
+    out over a process pool.  Results are ordered by input position
+    regardless of completion order, so output is bit-identical to the
+    serial run (see the module docstring for the purity contract).
+
+    A worker exception cancels the remaining cells and re-raises in the
+    caller.
+    """
+    if workers is not None and workers < 1:
+        raise RunnerError(f"workers must be at least 1, got {workers}")
+    cells = list(cells)
+    if workers is None:
+        workers = default_workers()
+    if workers == 1 or len(cells) <= 1:
+        return [cell.run() for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        # ``map`` yields results in submission order — completion order
+        # never leaks into the output.
+        return list(pool.map(_run_spec, cells))
+
+
+def _run_spec(spec: ExperimentSpec) -> Any:
+    """Module-level trampoline so specs pickle cleanly into workers."""
+    return spec.run()

@@ -1,8 +1,17 @@
 """Deterministic discrete-event engine.
 
-A minimal, fast event loop: events are ``(time, sequence, callback)``
-triples in a binary heap.  The sequence number makes simultaneous
-events fire in scheduling order, so runs are exactly reproducible.
+A minimal, fast event loop.  Heap entries are plain ``[time, seq,
+callback, args]`` records, so ``heapq`` orders them with C-speed
+list comparison — ``time`` first, then the unique sequence number
+(the callback is never compared).  The sequence number makes
+simultaneous events fire in scheduling order, so runs are exactly
+reproducible.
+
+Cancellation is lazy: :meth:`Event.cancel` blanks the entry's callback
+slot in place and the run loop discards blanked entries as they surface.
+When cancelled entries outnumber live ones the heap is compacted, so a
+workload that schedules and cancels many timers (e.g. retransmission
+timeouts) does not grow the heap without bound.
 """
 
 from __future__ import annotations
@@ -10,31 +19,38 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+#: Index of the callback slot in a heap entry; ``None`` marks an entry
+#: that was cancelled (or already fired) and must not fire (again).
+_CALLBACK = 2
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling operations."""
 
 
 class Event:
-    """A scheduled callback; cancel with :meth:`cancel`."""
+    """Handle to one scheduled callback; cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_entry", "_engine")
 
-    def __init__(
-        self, time: float, seq: int, callback: Callable[..., None], args: tuple
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
+    def __init__(self, entry: list, engine: "Engine") -> None:
+        self.time: float = entry[0]
+        self.seq: int = entry[1]
         self.cancelled = False
+        self._entry = entry
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (lazy removal from the heap)."""
-        self.cancelled = True
+        """Prevent the callback from firing (lazy removal from the heap).
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        Idempotent; cancelling an event that already fired is a no-op.
+        """
+        self.cancelled = True
+        entry = self._entry
+        if entry[_CALLBACK] is not None:
+            entry[_CALLBACK] = None
+            entry[3] = None  # free the args references eagerly
+            self._engine._note_cancelled()
 
 
 class Engine:
@@ -42,8 +58,9 @@ class Engine:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[list] = []
         self._seq = 0
+        self._n_cancelled = 0
         self.events_processed = 0
 
     def schedule(
@@ -62,10 +79,25 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        event = Event(time, self._seq, callback, args)
+        entry = [time, self._seq, callback, args]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        heapq.heappush(self._heap, entry)
+        return Event(entry, self)
+
+    def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`Event` handle.
+
+        The per-event hot path — skips the handle allocation, so use it
+        whenever the caller never cancels (packet forwarding, traffic
+        sources).  Semantics are otherwise identical to
+        :meth:`schedule_at`, including the ordering sequence number.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, [time, self._seq, callback, args])
+        self._seq += 1
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events until the heap empties, ``until`` passes, or
@@ -74,23 +106,51 @@ class Engine:
         Advances ``now`` to ``until`` at the end when a horizon is given,
         even if the heap drained earlier.
         """
+        heap = self._heap
+        heappop = heapq.heappop
         processed = 0
-        while self._heap:
+        while heap:
             if max_events is not None and processed >= max_events:
                 return
-            event = self._heap[0]
-            if until is not None and event.time > until:
+            entry = heap[0]
+            if until is not None and entry[0] > until:
                 break
-            heapq.heappop(self._heap)
-            if event.cancelled:
+            heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                self._n_cancelled -= 1
                 continue
-            self.now = event.time
-            event.callback(*event.args)
+            # Blank the entry before firing so a handle cancelled from
+            # inside its own callback stays a no-op.
+            entry[_CALLBACK] = None
+            args = entry[3]
+            self.now = entry[0]
+            callback(*args)
             processed += 1
             self.events_processed += 1
         if until is not None and until > self.now:
             self.now = until
 
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - self._n_cancelled
+
+    # -- internal ----------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Record one cancellation; compact when the dead outnumber the live."""
+        self._n_cancelled += 1
+        if self._n_cancelled > len(self._heap) // 2:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (heap order is re-derived
+        from the ``(time, seq)`` prefix, so live ordering is unchanged).
+
+        Compaction is in place — ``run`` holds a reference to the heap
+        list while events fire, and cancellations from inside a callback
+        must stay visible to that loop.
+        """
+        self._heap[:] = [entry for entry in self._heap if entry[_CALLBACK] is not None]
+        heapq.heapify(self._heap)
+        self._n_cancelled = 0

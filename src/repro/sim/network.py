@@ -32,7 +32,7 @@ from repro.sim.engine import Engine
 from repro.sim.stats import LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.topology.base import Topology
-from repro.units import MICROSECONDS, NANOSECONDS, serialization_delay
+from repro.units import BITS_PER_BYTE, MICROSECONDS, NANOSECONDS
 
 #: OS network-stack forwarding latency charged to server relays
 #: (paper Table 2, "OS Network Stack": 15 µs standard).
@@ -46,7 +46,7 @@ class NetworkSimError(RuntimeError):
     """Raised for invalid send requests or malformed paths."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated packet in flight."""
 
@@ -68,7 +68,7 @@ class Packet:
         return self.delivered_at - self.created_at
 
 
-@dataclass
+@dataclass(slots=True)
 class PortState:
     """Transmission state of one directed link's output port."""
 
@@ -111,12 +111,26 @@ class Network:
         self._packet_ids = itertools.count()
         self._ports: dict[tuple[str, str], PortState] = {}
         self._capacity: dict[tuple[str, str], float] = {}
+        # Per-directed-link record on the forwarding hot path:
+        # (serialization factor = 8 / capacity, output port, capacity).
+        self._link_rec: dict[tuple[str, str], tuple[float, PortState, float]] = {}
         for link in topo.links():
-            self._capacity[(link.u, link.v)] = link.capacity
-            self._capacity[(link.v, link.u)] = link.capacity
+            for key in ((link.u, link.v), (link.v, link.u)):
+                self._capacity[key] = link.capacity
+                port = self._ports[key] = PortState()
+                self._link_rec[key] = (
+                    BITS_PER_BYTE / link.capacity, port, link.capacity
+                )
         self._switch_models: dict[str, SwitchModel] = {}
+        # Per-node forwarding record: (cut_through, processing latency);
+        # server relays behave like store-and-forward OS stacks.
+        self._hop_rec: dict[str, tuple[bool, float]] = {}
         for switch in topo.switches():
-            self._switch_models[switch] = get_model(topo.switch_model(switch) or "ULL")
+            model = get_model(topo.switch_model(switch) or "ULL")
+            self._switch_models[switch] = model
+            self._hop_rec[switch] = (model.cut_through, model.latency)
+        for server in topo.servers():
+            self._hop_rec[server] = (False, server_forward_latency)
 
     # -- injection ------------------------------------------------------------------
 
@@ -157,42 +171,44 @@ class Network:
 
     def _transmit(self, packet: Packet, earliest_start: float) -> None:
         """Clock the packet onto the output port toward its next hop."""
-        node = packet.path[packet.hop]
-        next_node = packet.path[packet.hop + 1]
-        key = (node, next_node)
-        capacity = self._capacity.get(key)
-        if capacity is None:
-            raise NetworkSimError(f"no link {node!r} → {next_node!r} on path")
-        port = self._ports.get(key)
-        if port is None:
-            port = self._ports[key] = PortState()
-        ser = serialization_delay(packet.size_bytes, capacity)
+        path = packet.path
+        hop = packet.hop
+        rec = self._link_rec.get((path[hop], path[hop + 1]))
+        if rec is None:
+            raise NetworkSimError(
+                f"no link {path[hop]!r} → {path[hop + 1]!r} on path"
+            )
+        ser_factor, port, capacity = rec
+        size = packet.size_bytes
+        ser = size * ser_factor
         if self.buffer_bytes is not None:
             # Bytes still queued ahead of this packet when it reaches the
             # port: the time the port stays busy past the packet's
             # arrival, clocked out at link rate.
             backlog_seconds = max(0.0, port.busy_until - max(earliest_start, self.engine.now))
             backlog_bytes = backlog_seconds * capacity / 8.0
-            if backlog_bytes + packet.size_bytes > self.buffer_bytes:
+            if backlog_bytes + size > self.buffer_bytes:
                 port.packets_dropped += 1
                 self.packets_dropped += 1
                 return
-        start = max(earliest_start, port.busy_until)
+        start = port.busy_until
+        if start < earliest_start:
+            start = earliest_start
         tail_out = start + ser
         port.busy_until = tail_out
         port.packets_sent += 1
-        port.bytes_sent += packet.size_bytes
-        self.engine.schedule_at(
-            tail_out + self.propagation_delay, self._arrive, packet
-        )
+        port.bytes_sent += size
+        self.engine.call_at(tail_out + self.propagation_delay, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
         """Tail of ``packet`` arrived at the next node on its path."""
-        packet.hop += 1
-        node = packet.path[packet.hop]
+        hop = packet.hop + 1
+        packet.hop = hop
+        path = packet.path
+        node = path[hop]
         now = self.engine.now
 
-        if packet.hop == len(packet.path) - 1:
+        if hop == len(path) - 1:
             packet.delivered_at = now + self.host_receive_latency
             self.packets_delivered += 1
             self.stats.record(packet.latency, group=packet.group)
@@ -200,25 +216,16 @@ class Network:
                 packet.on_delivered(packet, packet.delivered_at)
             return
 
-        if self.topo.is_server(node):
-            # Server relay (server-centric topologies): OS-stack
-            # store-and-forward.
-            self._transmit(packet, earliest_start=now + self.server_forward_latency)
-            return
-
-        model = self._switch_models[node]
-        if model.cut_through:
-            prev_node = packet.path[packet.hop - 1]
-            next_node = packet.path[packet.hop + 1]
-            ser_in = serialization_delay(
-                packet.size_bytes, self._capacity[(prev_node, node)]
-            )
-            ser_out = serialization_delay(
-                packet.size_bytes, self._capacity[(node, next_node)]
-            )
-            earliest = now - min(ser_in, ser_out) + model.latency
+        # Server relays (BCube/DCell) are store-and-forward with the
+        # OS-stack latency, so they share the switch record shape.
+        cut_through, latency = self._hop_rec[node]
+        if cut_through:
+            size = packet.size_bytes
+            ser_in = size * self._link_rec[(path[hop - 1], node)][0]
+            ser_out = size * self._link_rec[(node, path[hop + 1])][0]
+            earliest = now - (ser_in if ser_in < ser_out else ser_out) + latency
         else:
-            earliest = now + model.latency
+            earliest = now + latency
         self._transmit(packet, earliest_start=earliest)
 
     # -- introspection ---------------------------------------------------------------

@@ -109,7 +109,8 @@ class PoissonSource:
             self.src, dst, self.size_bytes, flow_id=flow, group=self.group
         )
         self.packets_sent += 1
-        self.network.engine.schedule(self._next_gap(), self._fire)
+        engine = self.network.engine
+        engine.call_at(engine.now + self._next_gap(), self._fire)
 
 
 class BurstSource:
@@ -176,7 +177,8 @@ class BurstSource:
                 self.src, self.dst, self.size_bytes, flow_id=self.flow_id, group=self.group
             )
             self.packets_sent += 1
-        self.network.engine.schedule(self.burst_interval, self._fire_burst)
+        engine = self.network.engine
+        engine.call_at(engine.now + self.burst_interval, self._fire_burst)
 
 
 class RPCSource:

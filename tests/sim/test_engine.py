@@ -97,3 +97,79 @@ class TestRunControl:
         assert engine.pending() == 1
         engine.run()
         assert engine.pending() == 0
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        live = engine.schedule(1.0, lambda: None)
+        doomed = engine.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert engine.pending() == 1
+        assert not live.cancelled
+
+    def test_cancel_is_idempotent_and_noop_after_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, fired.append, "x")
+        engine.run()
+        assert fired == ["x"]
+        event.cancel()  # after fire: no-op
+        event.cancel()  # idempotent
+        assert engine.pending() == 0
+
+    def test_heap_compacts_when_mostly_cancelled(self):
+        engine = Engine()
+        keep = engine.schedule(100.0, lambda: None)
+        doomed = [engine.schedule(float(i + 1), lambda: None) for i in range(64)]
+        for event in doomed:
+            event.cancel()
+        # More than half the heap is dead: compaction must have dropped
+        # the cancelled entries while keeping the live one schedulable.
+        assert len(engine._heap) < 32
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.now == 100.0
+        assert not keep.cancelled
+        assert engine.events_processed == 1
+
+
+class TestDeterministicOrdering:
+    """Regression tests for the scheduling-order contract.
+
+    Same-timestamp events must fire in the order they were scheduled,
+    regardless of which API scheduled them (``schedule``, ``schedule_at``,
+    ``call_at``) and regardless of interleaved cancellations — packet
+    traces rely on this for bit-identical reruns.
+    """
+
+    def test_call_at_interleaved_with_schedule_keeps_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.call_at(1.0, fired.append, "b")
+        engine.schedule_at(1.0, fired.append, "c")
+        engine.call_at(1.0, fired.append, "d")
+        engine.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_order_survives_interleaved_cancellation(self):
+        engine = Engine()
+        fired = []
+        events = [engine.schedule(1.0, fired.append, tag) for tag in "abcdef"]
+        events[1].cancel()
+        events[4].cancel()
+        engine.call_at(1.0, fired.append, "g")
+        engine.run()
+        assert fired == ["a", "c", "d", "f", "g"]
+
+    def test_order_survives_compaction(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, fired.append, "first")
+        engine.call_at(5.0, fired.append, "second")
+        doomed = [engine.schedule(1.0, lambda: None) for _ in range(32)]
+        engine.schedule(5.0, fired.append, "third")
+        for event in doomed:
+            event.cancel()  # triggers compaction mid-stream
+        engine.call_at(5.0, fired.append, "fourth")
+        engine.run()
+        assert fired == ["first", "second", "third", "fourth"]

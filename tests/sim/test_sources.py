@@ -35,9 +35,6 @@ class TestPoissonSource:
         )
         source.start()
         net.run(until=0.01)
-        destinations = {p for p in net.stats.by_group} if net.stats.by_group else None
-        # Count deliveries per destination rack via flow grouping absence:
-        # easier — look at stats count and trust uniform choice.
         assert net.stats.count > 100
 
     def test_stop_at(self, net):

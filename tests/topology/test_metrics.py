@@ -1,7 +1,5 @@
 """Tests for topology metrics — the Table 9 reproduction machinery."""
 
-import pytest
-
 import repro.topology as T
 
 
