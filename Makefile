@@ -1,6 +1,8 @@
 # Convenience targets for the Quartz reproduction.
 
-.PHONY: install test bench examples all
+PYTHON ?= python
+
+.PHONY: install test bench examples smoke smoke-update lint ci all
 
 install:
 	pip install -e .
@@ -13,5 +15,29 @@ bench:
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+# Benchmark smoke: seeded cells diffed against tests/golden/ (the CI
+# benchmark-smoke job).  `make smoke-update` regenerates the golden
+# after an intentional metric change.
+smoke:
+	PYTHONPATH=src $(PYTHON) -m repro smoke --check
+
+smoke-update:
+	PYTHONPATH=src $(PYTHON) -m repro smoke --update
+
+# Lint with ruff when it is installed; skip gracefully when it is not
+# (CI always installs it, local environments may not).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# Mirror the CI pipeline locally: tests, lint, benchmark smoke.
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(MAKE) lint
+	$(MAKE) smoke
 
 all: install test bench

@@ -50,12 +50,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate an evaluation figure")
     exp.add_argument(
-        "--figure", choices=("10", "17", "18", "20"), required=True,
-        help="paper figure number",
+        "--figure", choices=("10", "17", "18", "20", "fault-recovery"), required=True,
+        help="paper figure number, or the live fault-recovery experiment",
     )
     exp.add_argument(
         "--kind", choices=("scatter", "gather", "scatter_gather"),
         default="scatter", help="task kind for figures 17/18",
+    )
+    exp.add_argument(
+        "--router", choices=("ecmp", "vlb"), default="ecmp",
+        help="routing engine for the fault-recovery experiment",
+    )
+    exp.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-schedule seed for the fault-recovery experiment",
     )
     exp.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -76,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     expand.add_argument("--from-size", type=int, required=True, metavar="M")
     expand.add_argument("--to-size", type=int, required=True, metavar="N")
+
+    smoke = sub.add_parser(
+        "smoke", help="benchmark smoke: seeded cells vs golden metrics"
+    )
+    mode = smoke.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail if metrics drifted from the golden (default)",
+    )
+    mode.add_argument(
+        "--update", action="store_true",
+        help="regenerate the golden file from a fresh run",
+    )
+    smoke.add_argument(
+        "--golden", type=str, default=None, metavar="PATH",
+        help="golden JSON location (default: tests/golden/benchmark_smoke.json)",
+    )
     return parser
 
 
@@ -171,7 +196,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _run_experiment(args: argparse.Namespace, E, workers: int | None) -> int:
-    if args.figure == "10":
+    if args.figure == "fault-recovery":
+        results = E.fault_recovery_sweep(
+            seeds=(args.seed,), workers=workers, router=args.router
+        )
+        print(E.format_fault_recovery(results))
+    elif args.figure == "10":
         print(E.format_figure10(E.figure10_sweep(workers=workers)))
     elif args.figure == "20":
         print(E.format_figure20(E.figure20_sweep(workers=workers)))
@@ -224,6 +254,33 @@ def _cmd_expand(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import smoke as S
+
+    path = Path(args.golden) if args.golden else S.GOLDEN_PATH
+    if args.update:
+        metrics = S.update(path)
+        print(f"golden updated: {path}")
+        for key in sorted(metrics):
+            print(f"  {key} = {metrics[key]!r}")
+        return 0
+    problems = S.check(path)
+    if problems:
+        print("benchmark smoke drift detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(
+            "intentional change?  re-run `python -m repro smoke --update` "
+            "and commit the new golden",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchmark smoke OK ({path.name})")
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "design": _cmd_design,
@@ -231,6 +288,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "scaling": _cmd_scaling,
     "expand": _cmd_expand,
+    "smoke": _cmd_smoke,
 }
 
 

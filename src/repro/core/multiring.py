@@ -67,6 +67,31 @@ class MultiRingPlan:
         """Distinct wavelengths used on one physical ring."""
         return len({a.wavelength for a in self.assignments if a.ring == ring})
 
+    def channels_crossing(self, ring: int, segment: int) -> tuple[tuple[int, int], ...]:
+        """Switch pairs whose channel a fibre-segment cut would sever.
+
+        A cut of physical segment ``segment`` on ring ``ring`` kills
+        exactly these pairs' direct mesh channels — the runtime mapping
+        the packet simulator's fault injector applies
+        (:class:`repro.sim.faults.FaultInjector`).
+        """
+        return tuple(
+            sorted(
+                a.pair
+                for a in self.assignments
+                if a.ring == ring and segment in a.links
+            )
+        )
+
+    def pair_routes(self) -> dict[tuple[int, int], tuple[int, tuple[int, ...]]]:
+        """Every pair's physical route: ``pair -> (ring, fibre segments)``.
+
+        The inverse view of :meth:`channels_crossing`, used to decide
+        when a severed channel is whole again (every segment its path
+        crosses must be intact before a repair can resurrect it).
+        """
+        return {a.pair: (a.ring, a.links) for a in self.assignments}
+
     def segment_load(self, ring: int, segment: int) -> int:
         """Channels crossing one fibre segment of one ring."""
         return sum(

@@ -8,6 +8,8 @@ a figure with one call:
   under global and localized traffic).
 * :mod:`~repro.experiments.pathological` — Figure 20 (Section 7.2).
 * :mod:`~repro.experiments.bisection` — Figure 10 (Section 5.1).
+* :mod:`~repro.experiments.fault_recovery` — live fibre-cut recovery
+  (the dynamic companion to Figure 6, Section 3.5).
 """
 
 from repro.experiments.breakdown import (
@@ -21,6 +23,13 @@ from repro.experiments.bisection import (
     figure10_sweep,
     format_figure10,
     run_bisection_cell,
+)
+from repro.experiments.fault_recovery import (
+    ROUTER_BUILDERS,
+    FaultRecoveryResult,
+    fault_recovery_sweep,
+    format_fault_recovery,
+    run_fault_recovery_cell,
 )
 from repro.experiments.pathological import (
     PathologicalResult,
@@ -43,7 +52,12 @@ from repro.experiments.section7 import (
 __all__ = [
     "BisectionResult",
     "FABRIC_BUILDERS",
+    "FaultRecoveryResult",
     "PathologicalResult",
+    "ROUTER_BUILDERS",
+    "fault_recovery_sweep",
+    "format_fault_recovery",
+    "run_fault_recovery_cell",
     "TOPOLOGY_BUILDERS",
     "run_bisection_cell",
     "SweepPoint",

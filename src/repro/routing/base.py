@@ -16,6 +16,7 @@ from __future__ import annotations
 import abc
 import zlib
 from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.topology.base import Topology
 
@@ -25,6 +26,17 @@ Path = tuple[str, ...]
 
 class RoutingError(ValueError):
     """Raised when no path exists or a router is misconfigured."""
+
+
+def _path_crosses(affected: set[tuple[str, str]]) -> Callable[[Path], bool]:
+    """Predicate: does a path traverse any of the affected directed links?"""
+
+    def crosses(path: Path) -> bool:
+        return any(
+            (path[i], path[i + 1]) in affected for i in range(len(path) - 1)
+        )
+
+    return crosses
 
 
 def stable_hash(*parts: object) -> int:
@@ -83,6 +95,52 @@ class Router(abc.ABC):
         options = self._cached_paths(src, dst)
         share = 1.0 / len(options)
         return [WeightedPath(path=p, weight=share) for p in options]
+
+    # -- runtime topology changes ---------------------------------------------------
+
+    def invalidate_links(
+        self, links: Iterable[tuple[str, str]], repaired: bool = False
+    ) -> None:
+        """React to links going down (or coming back) mid-run.
+
+        On a **cut** (``repaired=False``) the invalidation is targeted:
+        memoized path sets and per-flow route picks survive unless one of
+        their paths crosses an affected link, so unaffected pairs keep
+        their (still valid) routes and only severed pairs recompute over
+        the surviving topology.
+
+        On a **repair** (``repaired=True``) every cache is flushed: a
+        restored link can shorten paths for pairs whose cached routes
+        never touched it, so targeted filtering cannot identify the
+        beneficiaries.
+
+        Either way the router re-reads ``self.topo`` lazily, which the
+        network keeps in sync with the live link state.
+        """
+        if repaired:
+            self._cache.clear()
+            self._route_cache.clear()
+        else:
+            affected = set()
+            for u, v in links:
+                affected.add((u, v))
+                affected.add((v, u))
+            crosses = _path_crosses(affected)
+            self._cache = {
+                key: paths
+                for key, paths in self._cache.items()
+                if not any(crosses(p) for p in paths)
+            }
+            self._route_cache = {
+                key: pick
+                for key, pick in self._route_cache.items()
+                if not crosses(pick)
+            }
+        self._on_topology_change(repaired=repaired)
+
+    def _on_topology_change(self, repaired: bool) -> None:
+        """Hook for subclasses holding derived topology state (e.g. the
+        ECMP switch graph or the VLB mesh-peer table)."""
 
     # -- helpers ------------------------------------------------------------------
 

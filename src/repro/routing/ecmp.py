@@ -22,7 +22,7 @@ from itertools import islice
 
 import networkx as nx
 
-from repro.routing.base import Path, Router
+from repro.routing.base import Path, Router, _path_crosses
 from repro.topology.base import Topology
 
 
@@ -99,6 +99,35 @@ class ECMPRouter(Router):
         ]
         stitched.sort()
         return stitched[: self.max_paths]
+
+    # -- runtime topology changes ----------------------------------------------
+
+    def invalidate_links(self, links, repaired: bool = False) -> None:
+        """Also invalidate the switch-to-switch segment cache.
+
+        Cuts drop only the segments crossing an affected link (plus the
+        stitched caches handled by the base class); repairs flush the
+        segment cache wholesale, since a restored channel can shorten
+        segments that never crossed it.
+        """
+        if not repaired:
+            affected = set()
+            for u, v in links:
+                affected.add((u, v))
+                affected.add((v, u))
+            crosses = _path_crosses(affected)
+            self._switch_paths = {
+                key: segments
+                for key, segments in self._switch_paths.items()
+                if not any(crosses(s) for s in segments)
+            }
+        super().invalidate_links(links, repaired=repaired)
+
+    def _on_topology_change(self, repaired: bool) -> None:
+        # The switch graph is a copy of the live topology: rebuild lazily.
+        self._switch_graph = None
+        if repaired:
+            self._switch_paths.clear()
 
     # -- shared switch-level computation --------------------------------------
 

@@ -40,29 +40,65 @@ class VLBRouter(Router):
             raise RoutingError("VLB requires a topology with mesh links")
         return peers
 
+    def _on_topology_change(self, repaired: bool) -> None:
+        # The peer table mirrors the live mesh links: a cut removes the
+        # direct channel between two switches, a repair restores it.
+        try:
+            self._mesh_peers = self._build_mesh_peers()
+        except RoutingError:
+            # Every mesh channel is dead; all pairs become unroutable
+            # until a repair (paths() raises per pair).
+            self._mesh_peers = {}
+
+    @staticmethod
+    def _split(options: list[Path]) -> tuple[Path | None, list[Path]]:
+        """Separate the direct path (if it survives) from the detours.
+
+        A direct rack-to-rack path is ``(src, tor_s, tor_d, dst)``; when
+        the direct channel is dead the option list holds only five-node
+        two-hop detours.
+        """
+        if len(options[0]) == 4:
+            return options[0], options[1:]
+        return None, options
+
     def paths(self, src: str, dst: str) -> list[Path]:
-        """Direct path first, then the two-hop detours in stable order."""
+        """Direct path first (when its channel is alive), then the
+        two-hop detours in stable order.
+
+        When a fibre cut has severed the direct channel the direct path
+        is omitted and all traffic falls back to the surviving two-hop
+        VLB detours; a pair with no surviving detour either is
+        unroutable and raises :class:`RoutingError`.
+        """
         tor_src = self.topo.tor_of(src)
         tor_dst = self.topo.tor_of(dst)
         if tor_src == tor_dst:
             return [(src, tor_src, dst)]
-        if tor_dst not in self._mesh_peers.get(tor_src, ()):
-            raise RoutingError(
-                f"{tor_src!r} and {tor_dst!r} are not mesh neighbours; "
-                "VLB routes only within a Quartz mesh"
-            )
-        direct: Path = (src, tor_src, tor_dst, dst)
+        direct_alive = tor_dst in self._mesh_peers.get(tor_src, ())
         detours = [
             (src, tor_src, mid, tor_dst, dst)
-            for mid in sorted(self._mesh_peers[tor_src] & self._mesh_peers[tor_dst])
+            for mid in sorted(
+                self._mesh_peers.get(tor_src, set())
+                & self._mesh_peers.get(tor_dst, set())
+            )
             if mid not in (tor_src, tor_dst)
         ]
-        return [direct, *detours]
+        if direct_alive:
+            return [(src, tor_src, tor_dst, dst), *detours]
+        if not detours:
+            raise RoutingError(
+                f"{tor_src!r} and {tor_dst!r} share no surviving VLB path; "
+                "the mesh channel is dead and no two-hop detour remains"
+            )
+        return detours
 
     def weighted_paths(self, src: str, dst: str) -> list[WeightedPath]:
         options = self._cached_paths(src, dst)
-        direct = options[0]
-        detours = options[1:]
+        direct, detours = self._split(options)
+        if direct is None:
+            share = 1.0 / len(detours)
+            return [WeightedPath(p, share) for p in detours]
         if not detours or self.direct_fraction >= 1.0:
             return [WeightedPath(direct, 1.0)]
         detour_share = (1.0 - self.direct_fraction) / len(detours)
@@ -75,18 +111,20 @@ class VLBRouter(Router):
 
         The pick is a deterministic hash of the flow key, so a given
         flow is pinned to one path (no in-flow reordering).  Picks are
-        memoized per flow key, like :meth:`Router.route`.
+        memoized per flow key, like :meth:`Router.route`.  Flows whose
+        direct channel died hash over the surviving detours only.
         """
         key = (src, dst, flow_id)
         pick = self._route_cache.get(key)
         if pick is not None:
             return pick
         options = self._cached_paths(src, dst)
-        direct = options[0]
-        detours = options[1:]
+        direct, detours = self._split(options)
         if not detours:
-            pick = direct
-        elif stable_hash(src, dst, flow_id, "vlb") % 10_000 < self.direct_fraction * 10_000:
+            pick = direct if direct is not None else options[0]
+        elif direct is not None and (
+            stable_hash(src, dst, flow_id, "vlb") % 10_000 < self.direct_fraction * 10_000
+        ):
             pick = direct
         else:
             pick = detours[stable_hash(src, dst, flow_id, "detour") % len(detours)]
@@ -169,9 +207,13 @@ class DemandAwareVLBRouter(VLBRouter):
 
     def weighted_paths(self, src: str, dst: str) -> list[WeightedPath]:
         options = self._cached_paths(src, dst)
-        direct = options[0]
-        detours = options[1:]
-        k = self._direct_fraction_for(direct) if len(direct) >= 4 else 1.0
+        direct, detours = self._split(options)
+        if direct is None:
+            if len(options[0]) == 3:  # same-rack: the lone host path
+                return [WeightedPath(options[0], 1.0)]
+            share = 1.0 / len(detours)
+            return [WeightedPath(p, share) for p in detours]
+        k = self._direct_fraction_for(direct)
         if not detours or k >= 1.0:
             return [WeightedPath(direct, 1.0)]
         detour_share = (1.0 - k) / len(detours)

@@ -9,6 +9,12 @@ sources used in Sections 6 and 7.
 """
 
 from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.faults import (
+    FaultInjectionError,
+    FaultInjector,
+    SegmentCut,
+    random_fault_schedule,
+)
 from repro.sim.network import (
     DEFAULT_PROPAGATION_DELAY,
     DEFAULT_SERVER_FORWARD_LATENCY,
@@ -24,7 +30,13 @@ from repro.sim.sources import (
     SourceError,
     poisson_pair_sources,
 )
-from repro.sim.stats import LatencyRecorder, LatencySummary, summarize_latencies
+from repro.sim.stats import (
+    FaultLogEntry,
+    FaultRecorder,
+    LatencyRecorder,
+    LatencySummary,
+    summarize_latencies,
+)
 from repro.sim.switch import CCS, MODELS, SF_1G, SwitchModel, ULL, get_model, register_model
 from repro.sim.transport import ACK_BYTES, TCPFlow, TransportError, bulk_tcp_flows
 from repro.sim.trace import (
@@ -41,6 +53,12 @@ __all__ = [
     "DEFAULT_SERVER_FORWARD_LATENCY",
     "Engine",
     "Event",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultRecorder",
+    "SegmentCut",
+    "random_fault_schedule",
     "LatencyBreakdown",
     "LatencyRecorder",
     "LatencySummary",

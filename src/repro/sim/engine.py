@@ -40,17 +40,25 @@ class Event:
         self._entry = entry
         self._engine = engine
 
-    def cancel(self) -> None:
+    def cancel(self) -> bool:
         """Prevent the callback from firing (lazy removal from the heap).
 
-        Idempotent; cancelling an event that already fired is a no-op.
+        Returns ``True`` only when this call revoked a still-pending
+        callback.  Idempotent: a second cancel — or cancelling an event
+        that already fired — is a no-op that returns ``False`` and
+        leaves ``cancelled`` untouched, so the flag always tells the
+        truth (fired events never read as cancelled) and the engine's
+        cancellation count never includes entries that are no longer in
+        the heap.
         """
-        self.cancelled = True
         entry = self._entry
-        if entry[_CALLBACK] is not None:
-            entry[_CALLBACK] = None
-            entry[3] = None  # free the args references eagerly
-            self._engine._note_cancelled()
+        if entry[_CALLBACK] is None:
+            return False
+        self.cancelled = True
+        entry[_CALLBACK] = None
+        entry[3] = None  # free the args references eagerly
+        self._engine._note_cancelled()
+        return True
 
 
 class Engine:

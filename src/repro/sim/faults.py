@@ -1,0 +1,217 @@
+"""Runtime fault injection for the packet simulator — Section 3.5, live.
+
+The static Monte-Carlo in :mod:`repro.core.fault` evaluates a wavelength
+plan's fault tolerance without ever running traffic.  This module is the
+dynamic counterpart: fibre-segment cuts and repairs are scheduled as
+engine events, so a live :class:`~repro.sim.network.Network` experiences
+failures *while packets are in flight* and the run shows how the mesh
+degrades and recovers.
+
+The physical-to-logical mapping comes from a
+:class:`~repro.core.multiring.MultiRingPlan`: cutting fibre segment
+``s`` of ring ``r`` severs every mesh channel whose wavelength path
+crosses that segment on that ring
+(:meth:`~repro.core.multiring.MultiRingPlan.channels_crossing`).  The
+injector tears the corresponding links down via
+:meth:`Network.fail_link` — dropping packets queued on them and
+invalidating the router's memoized picks — and resurrects a channel on
+repair only once *every* segment its path crosses is intact again.
+
+Everything is deterministic given a seed: schedules are materialized
+up front (:func:`random_fault_schedule`) and applied as ordinary engine
+events, so a seeded run is bit-identical regardless of how the
+surrounding sweep is parallelized.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.multiring import MultiRingPlan
+from repro.sim.network import Network
+
+
+class FaultInjectionError(ValueError):
+    """Raised for invalid fault schedules or mismatched plans."""
+
+
+@dataclass(frozen=True)
+class SegmentCut:
+    """One scheduled fibre-segment failure (and optional repair).
+
+    ``ring``/``segment`` index into the physical multi-ring layout;
+    ``start`` is the absolute sim time of the cut and ``repair_at`` the
+    absolute time the fibre is spliced back (``None`` = never).
+    """
+
+    start: float
+    ring: int
+    segment: int
+    repair_at: float | None = None
+
+    def validate(self, plan: MultiRingPlan) -> None:
+        if self.start < 0:
+            raise FaultInjectionError(f"cut time must be non-negative, got {self.start}")
+        if not 0 <= self.ring < plan.num_rings:
+            raise FaultInjectionError(
+                f"ring {self.ring} out of range (plan has {plan.num_rings})"
+            )
+        if not 0 <= self.segment < plan.ring_size:
+            raise FaultInjectionError(
+                f"segment {self.segment} out of range (ring size {plan.ring_size})"
+            )
+        if self.repair_at is not None and self.repair_at <= self.start:
+            raise FaultInjectionError(
+                f"repair at {self.repair_at} must follow the cut at {self.start}"
+            )
+
+
+class FaultInjector:
+    """Schedules fibre cuts/repairs against a live packet simulation.
+
+    ``network`` must simulate the logical mesh of the element the
+    ``plan`` describes, with switches named ``{tor_prefix}{index}`` (as
+    built by :meth:`repro.core.ring.QuartzRing.to_topology`).  Attaching
+    the injector arms the network's in-flight packet tracking, so create
+    it before starting traffic.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        plan: MultiRingPlan,
+        tor_prefix: str = "tor",
+    ) -> None:
+        self.network = network
+        self.plan = plan
+        self.tor_prefix = tor_prefix
+        missing = [
+            f"{tor_prefix}{i}"
+            for i in range(plan.ring_size)
+            if f"{tor_prefix}{i}" not in network.topo
+        ]
+        if missing:
+            raise FaultInjectionError(
+                f"network lacks switches for the plan: {missing[:4]}"
+            )
+        #: pair -> (ring, segments crossed) for repair bookkeeping.
+        self._pair_routes = plan.pair_routes()
+        self._failed_segments: set[tuple[int, int]] = set()
+        #: Channels currently severed *by this injector*.
+        self._down_channels: set[tuple[int, int]] = set()
+        self.cuts_applied = 0
+        self.repairs_applied = 0
+        network.enable_fault_tracking()
+
+    # -- scheduling -----------------------------------------------------------------
+
+    def schedule(self, cuts: Iterable[SegmentCut]) -> None:
+        """Register cut (and repair) events with the network's engine."""
+        engine = self.network.engine
+        for cut in cuts:
+            cut.validate(self.plan)
+            engine.schedule_at(cut.start, self.apply_cut, cut.ring, cut.segment)
+            if cut.repair_at is not None:
+                engine.schedule_at(
+                    cut.repair_at, self.apply_repair, cut.ring, cut.segment
+                )
+
+    # -- application ----------------------------------------------------------------
+
+    def apply_cut(self, ring: int, segment: int) -> int:
+        """Cut one fibre segment now; returns the packets dropped.
+
+        Every channel crossing the segment on that ring that is still up
+        is torn down in the network.  Cutting an already-failed segment
+        is a no-op.
+        """
+        if (ring, segment) in self._failed_segments:
+            return 0
+        self._failed_segments.add((ring, segment))
+        self.cuts_applied += 1
+        now = self.network.engine.now
+        severed = 0
+        dropped = 0
+        for pair in self.plan.channels_crossing(ring, segment):
+            if pair in self._down_channels:
+                continue  # already dead via another cut segment
+            self._down_channels.add(pair)
+            severed += 1
+            dropped += self.network.fail_link(*self._channel_link(pair))
+        self.network.fault_stats.log(
+            now, "cut", ring=ring, segment=segment,
+            detail=f"severed {severed} channels, dropped {dropped} packets",
+        )
+        return dropped
+
+    def apply_repair(self, ring: int, segment: int) -> int:
+        """Splice one fibre segment now; returns the channels restored.
+
+        A severed channel comes back only when every segment its
+        wavelength path crosses on its ring is intact again.
+        """
+        if (ring, segment) not in self._failed_segments:
+            return 0
+        self._failed_segments.discard((ring, segment))
+        self.repairs_applied += 1
+        now = self.network.engine.now
+        restored = 0
+        for pair in self.plan.channels_crossing(ring, segment):
+            if pair not in self._down_channels:
+                continue
+            pair_ring, segments = self._pair_routes[pair]
+            if any((pair_ring, seg) in self._failed_segments for seg in segments):
+                continue  # still severed elsewhere on its path
+            self._down_channels.discard(pair)
+            restored += 1
+            self.network.repair_link(*self._channel_link(pair))
+        self.network.fault_stats.log(
+            now, "repair", ring=ring, segment=segment,
+            detail=f"restored {restored} channels",
+        )
+        return restored
+
+    # -- introspection ----------------------------------------------------------------
+
+    def down_channels(self) -> list[tuple[int, int]]:
+        """Severed switch pairs, sorted (empty once everything healed)."""
+        return sorted(self._down_channels)
+
+    def _channel_link(self, pair: tuple[int, int]) -> tuple[str, str]:
+        return (f"{self.tor_prefix}{pair[0]}", f"{self.tor_prefix}{pair[1]}")
+
+
+def random_fault_schedule(
+    plan: MultiRingPlan,
+    num_cuts: int,
+    cut_at: float,
+    repair_after: float | None = None,
+    seed: int = 0,
+) -> list[SegmentCut]:
+    """Sample ``num_cuts`` distinct fibre segments to cut simultaneously.
+
+    The sample is uniform over all (ring, segment) fibre segments —
+    the same failure model as Figure 6's Monte-Carlo — deterministic
+    given ``seed``.  All cuts land at ``cut_at``; each is repaired
+    ``repair_after`` seconds later (``None`` = never repaired).
+    """
+    segments = [
+        (ring, segment)
+        for ring in range(plan.num_rings)
+        for segment in range(plan.ring_size)
+    ]
+    if num_cuts < 0:
+        raise FaultInjectionError(f"cut count must be non-negative, got {num_cuts}")
+    if num_cuts > len(segments):
+        raise FaultInjectionError(
+            f"cannot cut {num_cuts} of {len(segments)} fibre segments"
+        )
+    rng = random.Random(seed)
+    chosen: Sequence[tuple[int, int]] = rng.sample(segments, num_cuts)
+    repair_at = None if repair_after is None else cut_at + repair_after
+    return [
+        SegmentCut(start=cut_at, ring=ring, segment=segment, repair_at=repair_at)
+        for ring, segment in chosen
+    ]

@@ -27,9 +27,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+import networkx as nx
+
 from repro.routing.base import Path, Router
 from repro.sim.engine import Engine
-from repro.sim.stats import LatencyRecorder
+from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.topology.base import Topology
 from repro.units import BITS_PER_BYTE, MICROSECONDS, NANOSECONDS
@@ -46,9 +48,10 @@ class NetworkSimError(RuntimeError):
     """Raised for invalid send requests or malformed paths."""
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class Packet:
-    """One simulated packet in flight."""
+    """One simulated packet in flight (identity semantics: each injected
+    packet is a distinct object, hashable for in-flight tracking)."""
 
     packet_id: int
     src: str
@@ -60,6 +63,8 @@ class Packet:
     on_delivered: Callable[["Packet", float], None] | None = None
     hop: int = 0  # index into path of the node the packet currently sits at
     delivered_at: float | None = None
+    dropped: bool = False  # severed mid-flight by a link failure
+    rerouted: bool = False  # detoured around a dead link after injection
 
     @property
     def latency(self) -> float:
@@ -106,8 +111,20 @@ class Network:
         self.host_receive_latency = host_receive_latency
         self.buffer_bytes = buffer_bytes
         self.stats = LatencyRecorder()
+        self.fault_stats = FaultRecorder()
         self.packets_delivered = 0
         self.packets_dropped = 0
+        self.packets_dropped_fault = 0
+        self.packets_rerouted = 0
+        self.packets_unroutable = 0
+        # Fault-injection state.  Tracking in-flight packets costs one
+        # set add/discard per hop, so it stays off until a FaultInjector
+        # (or a direct fail_link caller) arms it.
+        self._track_in_flight = False
+        self._dead_links: set[tuple[str, str]] = set()
+        self._removed_edges: dict[tuple[str, str], dict] = {}
+        self._in_flight: dict[tuple[str, str], set[Packet]] = {}
+        self._detour_cache: dict[tuple[str, str], Path | None] = {}
         self._packet_ids = itertools.count()
         self._ports: dict[tuple[str, str], PortState] = {}
         self._capacity: dict[tuple[str, str], float] = {}
@@ -167,13 +184,32 @@ class Network:
         self._transmit(packet, earliest_start=self.engine.now)
         return packet
 
+    def note_unroutable(self, group: str | None = None) -> None:
+        """Count one packet the router had no path for (partitioned mesh).
+
+        Traffic sources call this instead of letting a
+        :class:`~repro.routing.base.RoutingError` abort the run: under
+        enough simultaneous fibre cuts a pair can be genuinely
+        disconnected, and its offered load is simply lost until a
+        repair reconnects it.
+        """
+        self.packets_unroutable += 1
+        self.packets_dropped += 1
+        self.packets_dropped_fault += 1
+        if self._track_in_flight:
+            self.fault_stats.record_drop(group, self.engine.now)
+
     # -- forwarding ----------------------------------------------------------------
 
     def _transmit(self, packet: Packet, earliest_start: float) -> None:
         """Clock the packet onto the output port toward its next hop."""
         path = packet.path
         hop = packet.hop
-        rec = self._link_rec.get((path[hop], path[hop + 1]))
+        key = (path[hop], path[hop + 1])
+        if self._dead_links and key in self._dead_links:
+            self._reroute_or_drop(packet, earliest_start)
+            return
+        rec = self._link_rec.get(key)
         if rec is None:
             raise NetworkSimError(
                 f"no link {path[hop]!r} → {path[hop + 1]!r} on path"
@@ -198,13 +234,21 @@ class Network:
         port.busy_until = tail_out
         port.packets_sent += 1
         port.bytes_sent += size
+        if self._track_in_flight:
+            self._in_flight.setdefault(key, set()).add(packet)
         self.engine.call_at(tail_out + self.propagation_delay, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
         """Tail of ``packet`` arrived at the next node on its path."""
+        if packet.dropped:
+            return  # severed by a link failure while in flight
         hop = packet.hop + 1
-        packet.hop = hop
         path = packet.path
+        if self._track_in_flight:
+            flight = self._in_flight.get((path[hop - 1], path[hop]))
+            if flight is not None:
+                flight.discard(packet)
+        packet.hop = hop
         node = path[hop]
         now = self.engine.now
 
@@ -212,6 +256,8 @@ class Network:
             packet.delivered_at = now + self.host_receive_latency
             self.packets_delivered += 1
             self.stats.record(packet.latency, group=packet.group)
+            if self._track_in_flight:
+                self.fault_stats.record_delivery(packet.group, now)
             if packet.on_delivered is not None:
                 packet.on_delivered(packet, packet.delivered_at)
             return
@@ -227,6 +273,110 @@ class Network:
         else:
             earliest = now + latency
         self._transmit(packet, earliest_start=earliest)
+
+    # -- runtime faults ---------------------------------------------------------------
+
+    def enable_fault_tracking(self) -> None:
+        """Arm in-flight packet tracking so link failures can sever packets.
+
+        Called by :class:`repro.sim.faults.FaultInjector` at attach time;
+        call it manually before injecting traffic if driving
+        :meth:`fail_link` directly.  Packets transmitted before arming
+        are invisible to subsequent cuts.
+        """
+        self._track_in_flight = True
+
+    def link_is_down(self, u: str, v: str) -> bool:
+        """Whether the link ``u`` — ``v`` is currently torn down."""
+        return (u, v) in self._dead_links
+
+    def fail_link(self, u: str, v: str) -> int:
+        """Tear down the link ``u`` — ``v`` mid-run; returns packets dropped.
+
+        Packets queued on or crossing the link (either direction) are
+        dropped and counted; the link disappears from the topology graph
+        so recomputed routes avoid it; the router's memoized picks and
+        path caches for affected pairs are invalidated.  Idempotent —
+        failing a dead link is a no-op returning 0.
+        """
+        if (u, v) in self._dead_links:
+            return 0
+        data = self.topo.graph.get_edge_data(u, v)
+        if data is None:
+            raise NetworkSimError(f"no link {u!r} -- {v!r} to fail")
+        self.enable_fault_tracking()
+        now = self.engine.now
+        self._removed_edges[(u, v)] = dict(data)
+        self.topo.graph.remove_edge(u, v)
+        self._dead_links.add((u, v))
+        self._dead_links.add((v, u))
+        dropped = 0
+        for key in ((u, v), (v, u)):
+            for packet in self._in_flight.pop(key, ()):
+                packet.dropped = True
+                dropped += 1
+                self.fault_stats.record_drop(packet.group, now)
+            # The severed queue drains to nowhere: the port is idle for
+            # whatever transmits after a repair.
+            self._ports[key].busy_until = now
+        self.packets_dropped_fault += dropped
+        self.packets_dropped += dropped
+        self._detour_cache.clear()
+        self.router.invalidate_links([(u, v)])
+        self.fault_stats.log(
+            now, "link_down", link=(u, v), detail=f"dropped {dropped} in flight"
+        )
+        return dropped
+
+    def repair_link(self, u: str, v: str) -> bool:
+        """Restore a link previously torn down by :meth:`fail_link`.
+
+        Returns ``False`` (a no-op) if the link is not currently down.
+        Route caches are flushed so flows may fall back onto the repaired
+        channel.
+        """
+        if (u, v) not in self._dead_links:
+            return False
+        data = self._removed_edges.pop((u, v), None)
+        if data is None:
+            data = self._removed_edges.pop((v, u))
+        self.topo.graph.add_edge(u, v, **data)
+        self._dead_links.discard((u, v))
+        self._dead_links.discard((v, u))
+        self._detour_cache.clear()
+        self.router.invalidate_links([(u, v)], repaired=True)
+        self.fault_stats.log(self.engine.now, "link_up", link=(u, v))
+        return True
+
+    def _reroute_or_drop(self, packet: Packet, earliest_start: float) -> None:
+        """A packet's next hop is dead: detour over live links, else drop.
+
+        The detour is the deterministic shortest path from the packet's
+        current node to its destination over the surviving topology
+        (memoized until the next fault event).  Packets with no
+        surviving path are dropped and counted.
+        """
+        node = packet.path[packet.hop]
+        key = (node, packet.dst)
+        detour = self._detour_cache.get(key, False)
+        if detour is False:
+            try:
+                detour = tuple(nx.shortest_path(self.topo.graph, node, packet.dst))
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                detour = None
+            self._detour_cache[key] = detour
+        if detour is None:
+            self.packets_dropped_fault += 1
+            self.packets_dropped += 1
+            self.fault_stats.record_drop(packet.group, self.engine.now)
+            return
+        packet.path = detour
+        packet.hop = 0
+        if not packet.rerouted:
+            packet.rerouted = True
+            self.packets_rerouted += 1
+            self.fault_stats.record_reroute(packet.group, self.engine.now)
+        self._transmit(packet, earliest_start=earliest_start)
 
     # -- introspection ---------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Sequence
 
+from repro.routing.base import RoutingError
 from repro.sim.network import Network, Packet
 from repro.units import BITS_PER_BYTE
 
@@ -50,6 +51,7 @@ class PoissonSource:
         seed: int = 0,
         stop_at: float | None = None,
         vary_flow_per_packet: bool = False,
+        on_delivered: Callable[[Packet, float], None] | None = None,
     ) -> None:
         if rate_pps <= 0:
             raise SourceError(f"rate must be positive, got {rate_pps}")
@@ -64,6 +66,7 @@ class PoissonSource:
         self.flow_id = flow_id
         self.stop_at = stop_at
         self.vary_flow_per_packet = vary_flow_per_packet
+        self.on_delivered = on_delivered
         self.packets_sent = 0
         self._rng = random.Random(seed)
         self._running = False
@@ -105,9 +108,15 @@ class PoissonSource:
         flow = self.flow_id
         if self.vary_flow_per_packet:
             flow = self.flow_id * 1_000_003 + self.packets_sent
-        self.network.send(
-            self.src, dst, self.size_bytes, flow_id=flow, group=self.group
-        )
+        try:
+            self.network.send(
+                self.src, dst, self.size_bytes, flow_id=flow, group=self.group,
+                on_delivered=self.on_delivered,
+            )
+        except RoutingError:
+            # A partitioned mesh (simultaneous fibre cuts) leaves the
+            # pair unreachable; the offered packet is lost, not fatal.
+            self.network.note_unroutable(self.group)
         self.packets_sent += 1
         engine = self.network.engine
         engine.call_at(engine.now + self._next_gap(), self._fire)

@@ -1,4 +1,4 @@
-"""Latency statistics collection for simulation runs."""
+"""Latency and fault statistics collection for simulation runs."""
 
 from __future__ import annotations
 
@@ -85,3 +85,112 @@ class LatencyRecorder:
     def clear(self) -> None:
         self.samples.clear()
         self.by_group.clear()
+
+
+# -- fault observability ------------------------------------------------------------
+
+#: Flow label used for packets injected without a ``group``.
+UNGROUPED = "<ungrouped>"
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One entry of the per-run fault log.
+
+    ``kind`` is one of ``"cut"`` / ``"repair"`` (a physical fibre-segment
+    event, with ``ring``/``segment`` set) or ``"link_down"`` /
+    ``"link_up"`` (one severed/restored mesh channel, with ``link`` set).
+    ``detail`` carries free-form context (e.g. the number of in-flight
+    packets dropped when a channel died).
+    """
+
+    time: float
+    kind: str
+    ring: int | None = None
+    segment: int | None = None
+    link: tuple[str, str] | None = None
+    detail: str = ""
+
+
+@dataclass
+class FaultRecorder:
+    """Fault observability: event log plus per-flow degradation counters.
+
+    Flows are keyed by the packet's ``group`` label (the same label
+    :class:`LatencyRecorder` buckets by); packets without a group share
+    the :data:`UNGROUPED` bucket.
+
+    A flow's **recovery time** measures how long its traffic was
+    disrupted: the clock starts at the flow's first drop or reroute and
+    stops at its next successful delivery.  A flow can recover several
+    times in one run (e.g. cut → recover → second cut), so recovery
+    times accumulate per flow.
+    """
+
+    events: list[FaultLogEntry] = field(default_factory=list)
+    drops_by_flow: dict[str, int] = field(default_factory=dict)
+    reroutes_by_flow: dict[str, int] = field(default_factory=dict)
+    recovery_times_by_flow: dict[str, list[float]] = field(default_factory=dict)
+    #: Flows currently inside an outage window (first disruption time).
+    awaiting_recovery: dict[str, float] = field(default_factory=dict)
+
+    def log(
+        self,
+        time: float,
+        kind: str,
+        ring: int | None = None,
+        segment: int | None = None,
+        link: tuple[str, str] | None = None,
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            FaultLogEntry(
+                time=time, kind=kind, ring=ring, segment=segment,
+                link=link, detail=detail,
+            )
+        )
+
+    def record_drop(self, flow: str | None, time: float) -> None:
+        key = flow if flow is not None else UNGROUPED
+        self.drops_by_flow[key] = self.drops_by_flow.get(key, 0) + 1
+        self.awaiting_recovery.setdefault(key, time)
+
+    def record_reroute(self, flow: str | None, time: float) -> None:
+        key = flow if flow is not None else UNGROUPED
+        self.reroutes_by_flow[key] = self.reroutes_by_flow.get(key, 0) + 1
+        self.awaiting_recovery.setdefault(key, time)
+
+    def record_delivery(self, flow: str | None, time: float) -> None:
+        """Close the flow's outage window, if one is open."""
+        if not self.awaiting_recovery:
+            return
+        key = flow if flow is not None else UNGROUPED
+        started = self.awaiting_recovery.pop(key, None)
+        if started is not None:
+            self.recovery_times_by_flow.setdefault(key, []).append(time - started)
+
+    # -- aggregates ---------------------------------------------------------------
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops_by_flow.values())
+
+    @property
+    def total_reroutes(self) -> int:
+        return sum(self.reroutes_by_flow.values())
+
+    def recovery_times(self) -> list[float]:
+        """All completed recovery intervals, in recording order per flow."""
+        return [t for times in self.recovery_times_by_flow.values() for t in times]
+
+    def max_recovery_time(self) -> float:
+        """Slowest completed recovery, or 0.0 when nothing was disrupted."""
+        times = self.recovery_times()
+        return max(times) if times else 0.0
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.drops_by_flow.clear()
+        self.reroutes_by_flow.clear()
+        self.recovery_times_by_flow.clear()
+        self.awaiting_recovery.clear()

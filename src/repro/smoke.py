@@ -1,0 +1,108 @@
+"""Benchmark smoke harness: tiny deterministic cells vs golden metrics.
+
+CI needs an early warning when a change shifts simulation results —
+tier-1 tests check invariants, but a silent change to packet timing,
+routing picks, or fault handling can pass every invariant while
+producing different numbers.  This module runs two small, seeded cells
+(one Figure 17 latency cell, one fault-recovery cell), extracts their
+key metrics, and diffs them against a golden JSON checked into
+``tests/golden/``.  Any drift fails ``python -m repro smoke --check``
+— and with it the CI benchmark-smoke job.
+
+When a change *intentionally* shifts results (a new router default, a
+bug fix in the engine), regenerate the golden with ``python -m repro
+smoke --update`` and commit the diff alongside the change.
+
+Every metric derives from seeded cells, so the file is identical across
+machines and Python versions; floats are still compared with a relative
+tolerance to stay robust to harmless serialization quirks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+#: Default golden location, relative to the repository root.
+GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "benchmark_smoke.json"
+
+#: Relative tolerance for float comparisons (exact for ints/strings).
+REL_TOL = 1e-9
+
+
+def compute_smoke_metrics() -> dict[str, Any]:
+    """Run the two smoke cells and flatten their key metrics.
+
+    Deliberately small: one Figure 17 scatter cell and one
+    fault-recovery cell, a few seconds end to end.
+    """
+    from repro.experiments import run_fault_recovery_cell, run_task_experiment
+
+    fig17 = run_task_experiment(
+        "quartz in edge and core", "scatter", 1, fan=4, duration=0.002, seed=0
+    )
+    fault = run_fault_recovery_cell(
+        ring_size=5,
+        num_rings=1,
+        num_cuts=1,
+        seed=0,
+        servers_per_switch=1,
+        per_pair_bandwidth_bps=2e9,
+        duration=0.002,
+        cut_at=0.0008,
+        repair_after=0.0006,
+        warmup=0.0003,
+        bin_width=0.0001,
+    )
+    return {
+        "fig17.mean_latency_us": fig17.mean_latency * 1e6,
+        "fig17.packets": fig17.summary.count,
+        "fault.channels_severed": fault.channels_severed,
+        "fault.packets_delivered": fault.packets_delivered,
+        "fault.packets_dropped": fault.packets_dropped,
+        "fault.packets_rerouted": fault.packets_rerouted,
+        "fault.baseline_goodput_bps": fault.baseline_goodput_bps,
+        "fault.goodput_loss": fault.goodput_loss,
+        "fault.recovery_latency_ms": (
+            None if fault.recovery_latency is None else fault.recovery_latency * 1e3
+        ),
+    }
+
+
+def compare_metrics(
+    golden: dict[str, Any], current: dict[str, Any], rel_tol: float = REL_TOL
+) -> list[str]:
+    """Human-readable drift list; empty means the metrics match."""
+    problems = []
+    for key in sorted(set(golden) | set(current)):
+        if key not in golden:
+            problems.append(f"{key}: new metric (got {current[key]!r}); regenerate the golden")
+            continue
+        if key not in current:
+            problems.append(f"{key}: missing (golden has {golden[key]!r})")
+            continue
+        want, got = golden[key], current[key]
+        if isinstance(want, float) and isinstance(got, float):
+            if not math.isclose(want, got, rel_tol=rel_tol, abs_tol=0.0):
+                problems.append(f"{key}: golden {want!r} != current {got!r}")
+        elif want != got:
+            problems.append(f"{key}: golden {want!r} != current {got!r}")
+    return problems
+
+
+def check(path: Path = GOLDEN_PATH) -> list[str]:
+    """Compare a fresh run against the golden; returns the drift list."""
+    if not path.exists():
+        return [f"golden file {path} missing; run `python -m repro smoke --update`"]
+    golden = json.loads(path.read_text())
+    return compare_metrics(golden, compute_smoke_metrics())
+
+
+def update(path: Path = GOLDEN_PATH) -> dict[str, Any]:
+    """Regenerate the golden file from a fresh run."""
+    metrics = compute_smoke_metrics()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    return metrics

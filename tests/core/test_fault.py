@@ -105,3 +105,28 @@ class TestSweep:
         assert len(results) == 4
         combos = {(r.num_rings, r.num_failures) for r in results}
         assert combos == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+
+class TestDegenerateRings:
+    def test_single_switch_ring_has_no_channels(self):
+        model = fault.RingFaultModel(1, 1)
+        assert model.pair_routes == {}
+        assert model.bandwidth_loss({(0, 0)}) == 0.0
+        # One node is trivially connected, cut or no cut.
+        assert not model.is_partitioned({(0, 0)})
+
+    def test_single_switch_monte_carlo_is_all_zero(self):
+        stats = fault.RingFaultModel(1, 1).simulate(1, trials=10)
+        assert stats.bandwidth_loss == 0.0
+        assert stats.partition_probability == 0.0
+
+    def test_two_switch_ring_single_cut(self):
+        # One pair, one channel; its path crosses one of the two
+        # segments, so a single cut either severs everything or nothing.
+        model = fault.RingFaultModel(2, 1)
+        (segments,) = [segs for _, segs in model.pair_routes.values()]
+        used = {(0, segments[0])}
+        unused = {(0, 1 - segments[0])}
+        assert model.bandwidth_loss(used) == 1.0
+        assert model.is_partitioned(used)
+        assert model.bandwidth_loss(unused) == 0.0

@@ -118,3 +118,62 @@ class TestFaultModelIntegration:
     def test_multi_plan_size_mismatch(self):
         with pytest.raises(Exception):
             RingFaultModel(10, multi_plan=plan_rings(8))
+
+
+class TestCapacityBoundaries:
+    def test_demand_exactly_at_wdm_limit_fits_one_ring(self):
+        # 9 switches need exactly 10 wavelengths; a 10-channel WDM is
+        # full to the last slot but must still pack on a single ring.
+        demand = greedy_assignment(9).num_channels
+        plan = plan_rings(9, wdm_channels=demand)
+        assert plan.num_rings == 1
+        assert plan.wavelengths_on_ring(0) == demand
+        plan.validate()
+
+    def test_demand_one_over_limit_needs_second_ring(self):
+        demand = greedy_assignment(9).num_channels
+        plan = plan_rings(9, wdm_channels=demand - 1)
+        assert plan.num_rings == 2
+        plan.validate()
+
+    def test_overfull_segment_makes_second_ring_mandatory(self):
+        # 26 switches demand 90 wavelengths > the 80-channel WDM, so a
+        # single physical ring is infeasible no matter the placement.
+        with pytest.raises(MultiRingPlanError):
+            plan_rings(26, num_rings=1)
+        plan = plan_rings(26)
+        assert plan.num_rings == 2
+        assert {a.ring for a in plan.assignments} == {0, 1}
+        plan.validate()
+
+    def test_single_switch_ring_rejected(self):
+        with pytest.raises(MultiRingPlanError, match="two switches"):
+            plan_rings(1)
+
+
+class TestRuntimeFaultViews:
+    def test_channels_crossing_matches_pair_routes(self):
+        plan = plan_rings(9, num_rings=2)
+        routes = plan.pair_routes()
+        for ring in range(plan.num_rings):
+            for segment in range(plan.ring_size):
+                crossing = plan.channels_crossing(ring, segment)
+                assert list(crossing) == sorted(crossing)
+                for pair in crossing:
+                    pair_ring, segments = routes[pair]
+                    assert pair_ring == ring and segment in segments
+
+    def test_pair_routes_covers_every_pair(self):
+        plan = plan_rings(7, num_rings=2)
+        routes = plan.pair_routes()
+        assert set(routes) == {
+            (s, t) for s in range(7) for t in range(s + 1, 7)
+        }
+
+    def test_channels_crossing_counts_segment_load(self):
+        plan = plan_rings(9, num_rings=2)
+        for ring in range(plan.num_rings):
+            for segment in range(plan.ring_size):
+                assert len(plan.channels_crossing(ring, segment)) == (
+                    plan.segment_load(ring, segment)
+                )

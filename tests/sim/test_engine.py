@@ -116,6 +116,61 @@ class TestRunControl:
         event.cancel()  # idempotent
         assert engine.pending() == 0
 
+    def test_cancel_reports_whether_it_revoked(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is False  # second cancel revokes nothing
+        assert engine.pending() == 0
+
+    def test_cancel_after_fire_is_truthful(self):
+        # Regression: cancel() used to set ``cancelled`` even when the
+        # callback had already fired, so the handle claimed it revoked
+        # work it did not.
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, fired.append, "x")
+        engine.run()
+        assert event.cancel() is False
+        assert not event.cancelled
+        assert fired == ["x"]
+        assert engine.pending() == 0
+
+    def test_cancel_inside_own_callback_is_noop(self):
+        engine = Engine()
+        fired = []
+        holder = []
+
+        def callback():
+            fired.append("once")
+            assert holder[0].cancel() is False
+
+        holder.append(engine.schedule(1.0, callback))
+        engine.run()
+        assert fired == ["once"]
+        assert not holder[0].cancelled
+        assert engine.pending() == 0
+
+    def test_pending_exact_across_compaction_boundary(self):
+        # Cancel handles one at a time straight through the compaction
+        # threshold: pending() must stay exact on both sides, and
+        # handles whose entries compaction already removed must refuse
+        # to double-count.
+        engine = Engine()
+        live = [engine.schedule(100.0 + i, lambda: None) for i in range(4)]
+        doomed = [engine.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for index, event in enumerate(doomed):
+            assert event.cancel() is True
+            assert engine.pending() == 4 + len(doomed) - index - 1
+        assert len(engine._heap) < 8  # compaction dropped most of the dead
+        for event in doomed:
+            assert event.cancel() is False  # entry long gone from heap
+        assert engine.pending() == 4
+        engine.run()
+        assert engine.events_processed == 4
+        assert engine.pending() == 0
+        assert not any(event.cancelled for event in live)
+
     def test_heap_compacts_when_mostly_cancelled(self):
         engine = Engine()
         keep = engine.schedule(100.0, lambda: None)

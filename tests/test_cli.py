@@ -101,3 +101,39 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSmokeCommand:
+    def test_update_then_check_round_trips(self, tmp_path, capsys):
+        golden = str(tmp_path / "golden.json")
+        assert main(["smoke", "--update", "--golden", golden]) == 0
+        assert "golden updated" in capsys.readouterr().out
+        assert main(["smoke", "--check", "--golden", golden]) == 0
+        assert "benchmark smoke OK" in capsys.readouterr().out
+
+    def test_drifted_golden_fails(self, tmp_path, capsys):
+        golden = tmp_path / "golden.json"
+        assert main(["smoke", "--update", "--golden", str(golden)]) == 0
+        capsys.readouterr()
+        doc = json.loads(golden.read_text())
+        doc["fault.packets_delivered"] += 1
+        golden.write_text(json.dumps(doc))
+        assert main(["smoke", "--check", "--golden", str(golden)]) == 1
+        err = capsys.readouterr().err
+        assert "drift" in err and "fault.packets_delivered" in err
+
+    def test_missing_golden_fails_with_hint(self, tmp_path, capsys):
+        assert main(["smoke", "--golden", str(tmp_path / "no.json")]) == 1
+        assert "--update" in capsys.readouterr().err
+
+
+class TestFaultRecoveryParser:
+    def test_figure_choice_and_options_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["experiment", "--figure", "fault-recovery",
+             "--router", "vlb", "--seed", "3", "--workers", "2"]
+        )
+        assert args.figure == "fault-recovery"
+        assert args.router == "vlb" and args.seed == 3 and args.workers == 2
