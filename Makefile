@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples smoke smoke-update lint ci all
+.PHONY: install test bench examples smoke smoke-update smoke-cached lint ci all
 
 install:
 	pip install -e .
@@ -34,10 +34,21 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
-# Mirror the CI pipeline locally: tests, lint, benchmark smoke.
+# Benchmark smoke through a shared artifact store, cold then warm —
+# both runs must match the same golden (the cache may not change any
+# metric).  Stats from the warm run are printed for inspection.
+smoke-cached:
+	rm -rf .repro-cache-ci
+	REPRO_CACHE_DIR=.repro-cache-ci PYTHONPATH=src $(PYTHON) -m repro smoke --check
+	REPRO_CACHE_DIR=.repro-cache-ci PYTHONPATH=src $(PYTHON) -m repro smoke --check
+	REPRO_CACHE_DIR=.repro-cache-ci PYTHONPATH=src $(PYTHON) -m repro cache stats
+	rm -rf .repro-cache-ci
+
+# Mirror the CI pipeline locally: tests, lint, benchmark smoke
+# (cold and warm against one artifact store).
 ci:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) lint
-	$(MAKE) smoke
+	$(MAKE) smoke-cached
 
 all: install test bench

@@ -25,6 +25,7 @@ from repro.core.channels import (
     WDM_CHANNEL_LIMIT,
     lower_bound,
     max_ring_size,
+    wavelengths_required,
 )
 
 
@@ -53,15 +54,24 @@ def element_scale(
     wdm_channels: int = WDM_CHANNEL_LIMIT,
     fibre_channels: int = FIBER_CHANNEL_LIMIT,
     allow_parallel_rings: bool = True,
+    method: str = "estimate",
 ) -> ElementScale:
     """The largest element buildable from ``switch_ports``-port switches.
 
     Uses the paper's half/half port split.  With ``allow_parallel_rings``
     the wavelength cap applies per fibre (WDM channel limit per ring);
     without it, the whole plan must fit one fibre (the 35-rack limit).
+
+    ``method`` picks the wavelength count: ``"estimate"`` (the link-load
+    lower bound — fast, within a few channels at paper scales) or
+    ``"greedy"`` (run the paper's Section 3.1 assignment — exact for the
+    heuristic, expensive at large ring sizes but memoized through
+    :mod:`repro.cache`).
     """
     if switch_ports < 4 or switch_ports % 2:
         raise ScalingError(f"port count must be even and ≥ 4, got {switch_ports}")
+    if method not in ("estimate", "greedy"):
+        raise ScalingError(f"unknown wavelength method {method!r}")
     half = switch_ports // 2
     port_limited_racks = half * switches_per_rack + 1
 
@@ -73,7 +83,10 @@ def element_scale(
         racks = min(port_limited_racks, fibre_cap)
         wavelength_limited = racks < port_limited_racks
 
-    wavelengths = _wavelength_estimate(racks)
+    if method == "greedy":
+        wavelengths = wavelengths_required(racks, method="greedy")
+    else:
+        wavelengths = _wavelength_estimate(racks)
     rings = max(1, ceil(wavelengths / wdm_channels)) * switches_per_rack
     num_switches = racks * switches_per_rack
     return ElementScale(
@@ -97,9 +110,10 @@ def _wavelength_estimate(racks: int) -> int:
 def scaling_table(
     port_counts: tuple[int, ...] = (16, 32, 64, 128, 256),
     switches_per_rack: int = 1,
+    method: str = "estimate",
 ) -> list[ElementScale]:
     """The Section 8 sweep: element size vs switch port count."""
-    return [element_scale(p, switches_per_rack) for p in port_counts]
+    return [element_scale(p, switches_per_rack, method=method) for p in port_counts]
 
 
 def format_scaling_table(rows: list[ElementScale]) -> str:

@@ -1,0 +1,85 @@
+"""Canonical content-addressed cache keys.
+
+A cache key must be a pure function of the *build spec* — the arguments
+that determine an artifact's value — and identical across processes and
+Python invocations (no ``id()``, no salted ``hash()``, no dict iteration
+order).  :func:`digest` encodes a spec into a canonical byte string and
+hashes it with SHA-256; two specs collide only if their canonical
+encodings are byte-identical, which for the supported types means they
+are equal values.
+
+Supported spec types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, enums, tuples/lists, sets/frozensets, dicts, dataclasses
+(encoded as their qualified name plus field values), and any object
+exposing ``__cache_key__()`` (e.g. :class:`~repro.topology.base.Topology`
+returns its structural fingerprint so derived artifacts like route
+tables key on graph *content*, not object identity).  Anything else
+raises :class:`CacheKeyError` — silently falling back to ``repr`` would
+admit process-dependent keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any
+
+
+class CacheKeyError(TypeError):
+    """Raised when a value cannot be canonically encoded into a key."""
+
+
+def canonical(value: Any) -> str:
+    """Deterministic textual encoding of ``value`` (see module docstring).
+
+    Floats are encoded with ``repr`` (shortest round-trip form, exact),
+    dict and set members are sorted by their encoded form, and every
+    type is tagged so e.g. ``1``, ``1.0``, ``True`` and ``"1"`` encode
+    differently.
+    """
+    if value is None:
+        return "N"
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return f"b{int(value)}"
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return f"s{len(value)}:{value}"
+    if isinstance(value, bytes):
+        return f"y{len(value)}:{value.hex()}"
+    if isinstance(value, enum.Enum):
+        return f"e{type(value).__qualname__}:{canonical(value.value)}"
+    if hasattr(value, "__cache_key__"):
+        return f"k({canonical(value.__cache_key__())})"
+    if isinstance(value, (tuple, list)):
+        body = ",".join(canonical(v) for v in value)
+        return f"t({body})"
+    if isinstance(value, (set, frozenset)):
+        body = ",".join(sorted(canonical(v) for v in value))
+        return f"S({body})"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical(k), canonical(v)) for k, v in value.items()
+        )
+        body = ",".join(f"{k}={v}" for k, v in items)
+        return f"d({body})"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"D{type(value).__qualname__}({fields})"
+    raise CacheKeyError(
+        f"cannot build a canonical cache key from {type(value).__qualname__}: "
+        f"{value!r}"
+    )
+
+
+def digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    text = canonical(tuple(parts))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

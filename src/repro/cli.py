@@ -78,6 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--ports", type=int, nargs="*", default=[16, 32, 64, 128, 256],
         help="switch port counts to sweep",
     )
+    scale.add_argument(
+        "--method", choices=("estimate", "greedy"), default="estimate",
+        help="wavelength count: link-load estimate (default) or the exact "
+        "greedy assignment (slow at large sizes, memoized via the cache)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed artifact cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="configuration, hit/miss counters, and disk usage"
+    )
+    cache_stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    cache_sub.add_parser(
+        "clear", help="drop every cached artifact (memory and disk)"
+    )
 
     expand = sub.add_parser(
         "expand", help="incremental ring expansion plan (Section 8)"
@@ -222,11 +241,40 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.analysis.scaling import format_scaling_table, scaling_table
 
     try:
-        rows = scaling_table(tuple(args.ports))
+        rows = scaling_table(tuple(args.ports), method=args.method)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(format_scaling_table(rows))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cache import artifact_cache
+
+    cache = artifact_cache()
+    if args.cache_command == "clear":
+        removed = cache.clear(disk=True)
+        where = cache.config.directory or "(memory only)"
+        print(f"cache cleared: {removed} disk entries removed from {where}")
+        return 0
+    entries, disk_bytes = cache.disk_usage()
+    info: dict = {
+        "enabled": cache.enabled,
+        "directory": cache.config.directory,
+        "memory_items": cache.config.memory_items,
+        "disk_entries": entries,
+        "disk_bytes": disk_bytes,
+        **cache.stats.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"{key:<{width}}  {value}")
     return 0
 
 
@@ -255,6 +303,7 @@ def _cmd_expand(args: argparse.Namespace) -> int:
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
+    import time
     from pathlib import Path
 
     from repro import smoke as S
@@ -265,8 +314,12 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         print(f"golden updated: {path}")
         for key in sorted(metrics):
             print(f"  {key} = {metrics[key]!r}")
+        _print_smoke_runtime(metrics["runtime.wall_clock_s"])
         return 0
+    start = time.perf_counter()
     problems = S.check(path)
+    elapsed = time.perf_counter() - start
+    _print_smoke_runtime(elapsed)
     if problems:
         print("benchmark smoke drift detected:", file=sys.stderr)
         for problem in problems:
@@ -281,12 +334,27 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_smoke_runtime(elapsed_s: float) -> None:
+    """Perf-trajectory line: wall-clock plus artifact-cache hit rate.
+
+    Informational only — never part of the golden comparison.
+    """
+    from repro.cache import artifact_cache
+
+    stats = artifact_cache().stats
+    print(
+        f"wall-clock {elapsed_s:.2f}s, cache hit-rate {stats.hit_rate:.1%} "
+        f"({stats.hits}/{stats.lookups} lookups)"
+    )
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "design": _cmd_design,
     "topology": _cmd_topology,
     "experiment": _cmd_experiment,
     "scaling": _cmd_scaling,
+    "cache": _cmd_cache,
     "expand": _cmd_expand,
     "smoke": _cmd_smoke,
 }

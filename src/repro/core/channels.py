@@ -40,6 +40,8 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.cache import cached
+
 #: Channels multiplexable on one fibre at 10 Gbps (paper Section 3.1).
 FIBER_CHANNEL_LIMIT = 160
 
@@ -193,6 +195,7 @@ def lower_bound(ring_size: int) -> int:
 # -- greedy heuristic (paper Section 3.1.1) ---------------------------------------
 
 
+@cached("channel-plan/greedy")
 def greedy_assignment(
     ring_size: int,
     max_channels: int | None = None,
@@ -295,6 +298,7 @@ def _first_fit(links: tuple[int, ...], channel_used: list[set[int]]) -> int:
 # -- exact ILP (paper Eq. 1-6) -----------------------------------------------------
 
 
+@cached("channel-plan/ilp")
 def ilp_assignment(
     ring_size: int,
     max_channels: int | None = None,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cache import cached
 from repro.core.channels import (
     ChannelPlan,
     PathAssignment,
@@ -140,6 +141,7 @@ class MultiRingPlan:
                         seen.add(a.wavelength)
 
 
+@cached("multi-ring-plan")
 def plan_rings(
     ring_size: int,
     num_rings: int | None = None,

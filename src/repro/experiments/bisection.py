@@ -13,7 +13,7 @@ from typing import Callable
 
 import repro.topology as T
 from repro.flowsim import evaluate, oversubscribed_fabric
-from repro.routing import DemandAwareVLBRouter, ECMPRouter
+from repro.routing import DemandAwareVLBRouter, ECMPRouter, KShortestPathsRouter
 from repro.runner import ExperimentSpec, run_cells
 from repro.topology.base import Topology
 from repro.units import GBPS
@@ -51,9 +51,14 @@ class BisectionResult:
 FABRIC_BUILDERS: dict[str, Callable[[int, int], Topology]] = {
     "full bisection": lambda r, s: oversubscribed_fabric(r, s, 1.0),
     "quartz": lambda r, s: T.quartz_ring(r, s),
+    "jellyfish": lambda r, s: T.jellyfish(r, 4, s, seed=0),
     "1/2 bisection": lambda r, s: oversubscribed_fabric(r, s, 0.5),
     "1/4 bisection": lambda r, s: oversubscribed_fabric(r, s, 0.25),
 }
+
+#: Paths per pair for the Jellyfish reference bar (Singla et al.'s
+#: k-shortest-paths routing; Table 9's comparison point).
+JELLYFISH_K = 8
 
 
 def run_bisection_cell(
@@ -74,8 +79,14 @@ def run_bisection_cell(
         raise ValueError(f"unknown pattern {pattern!r}; options: {sorted(PATTERNS)}")
     topo = FABRIC_BUILDERS[fabric](num_racks, servers_per_rack)
     matrix = PATTERNS[pattern](topo, LINE_RATE, seed)
+    router: ECMPRouter | DemandAwareVLBRouter | KShortestPathsRouter
     if fabric == "quartz":
-        router: ECMPRouter | DemandAwareVLBRouter = DemandAwareVLBRouter(topo, matrix)
+        router = DemandAwareVLBRouter(topo, matrix)
+        outcome = evaluate(topo, router, matrix, LINE_RATE, multipath=True)
+    elif fabric == "jellyfish":
+        # Random graphs need k-shortest-paths to realize their path
+        # diversity (Singla et al.); plain ECMP undersells them.
+        router = KShortestPathsRouter(topo, k=JELLYFISH_K)
         outcome = evaluate(topo, router, matrix, LINE_RATE, multipath=True)
     else:
         router = ECMPRouter(topo)

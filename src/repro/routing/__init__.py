@@ -17,6 +17,12 @@ from repro.routing.forwarding import (
 from repro.routing.kshortest import KShortestPathsRouter
 from repro.routing.spain import SPAINRouter
 from repro.routing.spanning_tree import SpanningTreeRouter
+from repro.routing.tables import (
+    RouteTable,
+    ecmp_segment_table,
+    kshortest_table,
+    vlb_table,
+)
 from repro.routing.vlb import AdaptiveVLBRouter, DemandAwareVLBRouter, VLBRouter
 
 __all__ = [
@@ -30,10 +36,14 @@ __all__ = [
     "KShortestPathsRouter",
     "Path",
     "Router",
+    "RouteTable",
     "RoutingError",
     "SPAINRouter",
     "SpanningTreeRouter",
     "VLBRouter",
     "WeightedPath",
+    "ecmp_segment_table",
+    "kshortest_table",
     "stable_hash",
+    "vlb_table",
 ]

@@ -22,7 +22,9 @@ from itertools import islice
 
 import networkx as nx
 
+from repro.cache import artifact_cache
 from repro.routing.base import Path, Router, _path_crosses
+from repro.routing.tables import ecmp_segment_table
 from repro.topology.base import Topology
 
 
@@ -46,6 +48,8 @@ class ECMPRouter(Router):
         self._stitchable = not bool(topo.graph.graph.get("server_centric"))
         self._switch_graph: nx.Graph | None = None
         self._switch_paths: dict[tuple[str, str], list[Path]] = {}
+        #: Whether the segment cache was warmed from the batched table.
+        self._segments_warmed = False
 
     # -- path enumeration -----------------------------------------------------
 
@@ -127,7 +131,10 @@ class ECMPRouter(Router):
         # The switch graph is a copy of the live topology: rebuild lazily.
         self._switch_graph = None
         if repaired:
+            # A repair restores the original fingerprint, so re-warming
+            # from the batched table is a cache hit, not a rebuild.
             self._switch_paths.clear()
+            self._segments_warmed = False
 
     # -- shared switch-level computation --------------------------------------
 
@@ -143,7 +150,18 @@ class ECMPRouter(Router):
     def _switch_segment(self, sw_s: str, sw_d: str) -> list[Path]:
         """All (bounded) shortest switch-to-switch paths, computed once
         per ordered switch pair and shared by every server pair behind
-        them."""
+        them.
+
+        With the artifact cache enabled the whole segment table is
+        warmed in one batch (content-addressed on the topology
+        fingerprint, shared across processes); pairs severed by a
+        mid-run cut still recompute lazily over the degraded graph.
+        """
+        if not self._segments_warmed and artifact_cache().enabled:
+            table = ecmp_segment_table(self.topo, self.max_paths)
+            for pair, segment in table.items():
+                self._switch_paths.setdefault(pair, list(segment))
+            self._segments_warmed = True
         key = (sw_s, sw_d)
         cached = self._switch_paths.get(key)
         if cached is None:

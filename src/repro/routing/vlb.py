@@ -16,7 +16,9 @@ the traffic characteristics").
 
 from __future__ import annotations
 
+from repro.cache import artifact_cache
 from repro.routing.base import Path, Router, RoutingError, WeightedPath, stable_hash
+from repro.routing.tables import vlb_table
 from repro.topology.base import LinkKind, Topology
 
 
@@ -29,6 +31,7 @@ class VLBRouter(Router):
             raise ValueError(f"direct_fraction must be in [0, 1], got {direct_fraction}")
         self.direct_fraction = direct_fraction
         self._mesh_peers = self._build_mesh_peers()
+        self._warm_paths()
 
     def _build_mesh_peers(self) -> dict[str, set[str]]:
         peers: dict[str, set[str]] = {}
@@ -40,6 +43,20 @@ class VLBRouter(Router):
             raise RoutingError("VLB requires a topology with mesh links")
         return peers
 
+    def _warm_paths(self) -> None:
+        """Prefill the per-pair path cache from the batched VLB table.
+
+        The table is content-addressed on the topology fingerprint and
+        replicates :meth:`paths` exactly.  Unroutable pairs (stored
+        empty) are *not* prefilled, so they still reach :meth:`paths`
+        and raise :class:`RoutingError` as before.
+        """
+        if not artifact_cache().enabled:
+            return
+        for pair, entry in vlb_table(self.topo).items():
+            if entry:
+                self._cache.setdefault(pair, list(entry))
+
     def _on_topology_change(self, repaired: bool) -> None:
         # The peer table mirrors the live mesh links: a cut removes the
         # direct channel between two switches, a repair restores it.
@@ -49,6 +66,11 @@ class VLBRouter(Router):
             # Every mesh channel is dead; all pairs become unroutable
             # until a repair (paths() raises per pair).
             self._mesh_peers = {}
+            return
+        if repaired:
+            # The base class flushed the path cache; the restored
+            # fingerprint makes re-warming a cache hit.
+            self._warm_paths()
 
     @staticmethod
     def _split(options: list[Path]) -> tuple[Path | None, list[Path]]:

@@ -16,12 +16,18 @@ smoke --update`` and commit the diff alongside the change.
 Every metric derives from seeded cells, so the file is identical across
 machines and Python versions; floats are still compared with a relative
 tolerance to stay robust to harmless serialization quirks.
+
+The golden also records ``runtime.*`` keys (wall-clock, artifact-cache
+hit rate) so the performance trajectory shows up in golden-file diffs;
+those keys are machine-dependent and are **excluded** from the
+``--check`` comparison.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import time
 from pathlib import Path
 from typing import Any
 
@@ -30,6 +36,10 @@ GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "benchm
 
 #: Relative tolerance for float comparisons (exact for ints/strings).
 REL_TOL = 1e-9
+
+#: Keys carrying perf-trajectory data: recorded in the golden for diff
+#: visibility, never compared (they vary by machine and cache state).
+RUNTIME_PREFIX = "runtime."
 
 
 def compute_smoke_metrics() -> dict[str, Any]:
@@ -71,12 +81,30 @@ def compute_smoke_metrics() -> dict[str, Any]:
     }
 
 
+def runtime_metrics(elapsed_s: float) -> dict[str, Any]:
+    """The ``runtime.*`` keys for one smoke run (never compared)."""
+    from repro.cache import artifact_cache
+
+    stats = artifact_cache().stats
+    return {
+        "runtime.wall_clock_s": elapsed_s,
+        "runtime.cache_hit_rate": stats.hit_rate,
+        "runtime.cache_lookups": stats.lookups,
+    }
+
+
 def compare_metrics(
     golden: dict[str, Any], current: dict[str, Any], rel_tol: float = REL_TOL
 ) -> list[str]:
-    """Human-readable drift list; empty means the metrics match."""
+    """Human-readable drift list; empty means the metrics match.
+
+    ``runtime.*`` keys are skipped on both sides: they track the perf
+    trajectory in golden diffs but are machine- and cache-dependent.
+    """
     problems = []
     for key in sorted(set(golden) | set(current)):
+        if key.startswith(RUNTIME_PREFIX):
+            continue
         if key not in golden:
             problems.append(f"{key}: new metric (got {current[key]!r}); regenerate the golden")
             continue
@@ -101,8 +129,14 @@ def check(path: Path = GOLDEN_PATH) -> list[str]:
 
 
 def update(path: Path = GOLDEN_PATH) -> dict[str, Any]:
-    """Regenerate the golden file from a fresh run."""
+    """Regenerate the golden file from a fresh run.
+
+    The written file includes the ``runtime.*`` trajectory keys; the
+    compared metrics stay exactly :func:`compute_smoke_metrics`.
+    """
+    start = time.perf_counter()
     metrics = compute_smoke_metrics()
+    metrics = {**metrics, **runtime_metrics(time.perf_counter() - start)}
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
     return metrics

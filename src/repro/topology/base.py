@@ -32,10 +32,13 @@ Edge attributes
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 import networkx as nx
+
+from repro.cache import cached
 
 
 class NodeKind(str, enum.Enum):
@@ -188,6 +191,20 @@ class Topology:
     def servers_in_rack(self, rack: int) -> list[str]:
         return [n for n in self.servers() if self.rack(n) == rack]
 
+    def servers_by_rack(self) -> dict[int, list[str]]:
+        """Rack id → its servers (insertion order), built in one pass.
+
+        Equivalent to calling :meth:`servers_in_rack` per rack but
+        linear instead of quadratic — workload generators that touch
+        every rack should use this.
+        """
+        by_rack: dict[int, list[str]] = {}
+        for server in self.servers():
+            rack = self.rack(server)
+            if rack is not None:
+                by_rack.setdefault(rack, []).append(server)
+        return by_rack
+
     def racks(self) -> list[int]:
         """Sorted list of distinct rack ids that contain servers."""
         seen = {self.rack(n) for n in self.servers()}
@@ -213,6 +230,46 @@ class Topology:
     def switch_graph(self) -> nx.Graph:
         """The subgraph induced on switches only (servers removed)."""
         return self.graph.subgraph(self.switches()).copy()
+
+    def copy(self) -> "Topology":
+        """An independent structural copy (shared immutable attributes).
+
+        Node/edge attribute values (enums, floats, strings) are
+        immutable, so the shallow-copied attribute dicts are safe:
+        structural mutation (``fail_link`` etc.) of the copy never
+        touches the original.
+        """
+        return Topology(name=self.name, graph=self.graph.copy())
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph *structure* (name excluded).
+
+        Two topologies with equal node sets, link sets, and attributes
+        share a fingerprint regardless of how they were constructed or
+        in which order nodes were inserted.  Derived pure artifacts
+        (route tables) use this as their cache key, so a topology
+        degraded by a fibre cut automatically keys differently from the
+        intact one — and keys *identically* again after full repair.
+
+        Not memoized: the graph is mutable, and route tables are
+        rebuilt exactly when it changes.
+        """
+        h = hashlib.sha256()
+        for key, value in sorted(self.graph.graph.items()):
+            h.update(f"g:{key}={value!r}\n".encode())
+        for node, data in sorted(self.graph.nodes(data=True)):
+            attrs = ",".join(f"{k}={v!r}" for k, v in sorted(data.items()))
+            h.update(f"n:{node}|{attrs}\n".encode())
+        for u, v, data in sorted(
+            (min(u, v), max(u, v), data) for u, v, data in self.graph.edges(data=True)
+        ):
+            attrs = ",".join(f"{k}={val!r}" for k, val in sorted(data.items()))
+            h.update(f"e:{u}--{v}|{attrs}\n".encode())
+        return h.hexdigest()
+
+    def __cache_key__(self) -> tuple[str, str]:
+        """Key contribution when a topology appears in an artifact spec."""
+        return ("topology", self.fingerprint())
 
     def validate(self) -> None:
         """Check structural invariants; raise :class:`TopologyError` on failure.
@@ -253,6 +310,33 @@ class Topology:
         n_sw = len(self.switches())
         n_link = self.graph.number_of_edges()
         return f"{self.name}: {n_srv} servers, {n_sw} switches, {n_link} links"
+
+
+def topologies_equal(a: Topology, b: Topology) -> bool:
+    """Value equality: same name, nodes, links, and all attributes.
+
+    ``Topology``'s dataclass ``__eq__`` compares the underlying
+    ``nx.Graph`` objects by identity, which is never what artifact
+    equivalence tests want — this compares content.
+    """
+    return a.name == b.name and nx.utils.graphs_equal(a.graph, b.graph)
+
+
+def cached_builder(
+    namespace: str, version: int = 1
+) -> Callable[[Callable[..., Topology]], Callable[..., Topology]]:
+    """Memoize a pure topology builder through :mod:`repro.cache`.
+
+    Builders are keyed by their fully-bound arguments.  Topologies are
+    mutable (the packet simulator's fault injection edits the live
+    graph), so every return — hit or miss — is an independent
+    :meth:`Topology.copy` of the stored instance.
+    """
+
+    def copy_topology(value: Any) -> Topology:
+        return value.copy()
+
+    return cached(f"topology/{namespace}", version=version, copy=copy_topology)
 
 
 def connect_all(

@@ -12,10 +12,11 @@ BCube a ~15 µs OS-stack hop (Table 9: 2 switch hops + 1 server hop →
 
 from __future__ import annotations
 
-from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.topology.base import cached_builder, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
+@cached_builder("bcube")
 def bcube(
     n: int = 4,
     k: int = 1,

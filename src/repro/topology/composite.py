@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 
-from repro.topology.base import LinkKind, NodeKind, Topology, connect_all
+from repro.topology.base import cached_builder, connect_all, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
@@ -43,6 +43,7 @@ def _add_quartz_ring(
     return switches
 
 
+@cached_builder("quartz-in-core")
 def quartz_in_core(
     num_pods: int = 2,
     tors_per_pod: int = 8,
@@ -91,6 +92,7 @@ def quartz_in_core(
     return topo
 
 
+@cached_builder("quartz-in-edge")
 def quartz_in_edge(
     num_rings: int = 4,
     ring_size: int = 4,
@@ -126,6 +128,7 @@ def quartz_in_edge(
     return topo
 
 
+@cached_builder("quartz-in-edge-and-core")
 def quartz_in_edge_and_core(
     num_rings: int = 4,
     ring_size: int = 4,
@@ -167,6 +170,7 @@ def quartz_in_edge_and_core(
     return topo
 
 
+@cached_builder("quartz-in-jellyfish")
 def quartz_in_jellyfish(
     num_rings: int = 4,
     ring_size: int = 4,

@@ -12,7 +12,7 @@ here to make the topology-comparison substrate complete.
 
 from __future__ import annotations
 
-from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.topology.base import cached_builder, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
@@ -24,6 +24,7 @@ def _dcell_servers(n: int, k: int) -> int:
     return t
 
 
+@cached_builder("dcell")
 def dcell(
     n: int = 4,
     k: int = 1,

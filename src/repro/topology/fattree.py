@@ -13,10 +13,11 @@ Two variants:
 
 from __future__ import annotations
 
-from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.topology.base import cached_builder, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
+@cached_builder("fat-tree")
 def fat_tree(
     k: int = 4,
     servers_per_edge: int | None = None,
@@ -65,6 +66,7 @@ def fat_tree(
     return topo
 
 
+@cached_builder("folded-clos")
 def folded_clos(
     num_edge: int = 32,
     num_spine: int = 16,

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.topology.base import cached_builder, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
+@cached_builder("jellyfish")
 def jellyfish(
     num_switches: int = 16,
     network_degree: int = 4,

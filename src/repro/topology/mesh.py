@@ -10,10 +10,11 @@ the WDM ring's O(n)).
 
 from __future__ import annotations
 
-from repro.topology.base import LinkKind, NodeKind, Topology, connect_all
+from repro.topology.base import cached_builder, connect_all, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
+@cached_builder("full-mesh")
 def full_mesh(
     num_switches: int = 4,
     servers_per_switch: int = 2,

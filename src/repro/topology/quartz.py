@@ -6,7 +6,7 @@ package offers every network in one namespace.
 
 from __future__ import annotations
 
-from repro.topology.base import Topology
+from repro.topology.base import cached_builder, Topology
 from repro.units import GBPS
 
 
@@ -18,6 +18,7 @@ def _quartz_ring_class():
     return QuartzRing
 
 
+@cached_builder("quartz-ring")
 def quartz_ring(
     num_switches: int = 4,
     servers_per_switch: int = 2,
@@ -42,6 +43,7 @@ def quartz_ring(
     return element.to_topology(servers_per_switch=servers_per_switch, name=name)
 
 
+@cached_builder("quartz-dual-tor")
 def quartz_dual_tor(
     port_count: int = 64,
     servers_per_rack: int = 2,

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import random
 
-from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.topology.base import cached_builder, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
+@cached_builder("swdc-ring")
 def swdc_ring(
     num_servers: int = 32,
     servers_per_rack: int = 4,

@@ -10,10 +10,11 @@ links.
 
 from __future__ import annotations
 
-from repro.topology.base import LinkKind, NodeKind, Topology
+from repro.topology.base import cached_builder, LinkKind, NodeKind, Topology
 from repro.units import GBPS
 
 
+@cached_builder("two-tier-tree")
 def two_tier_tree(
     num_tors: int = 16,
     servers_per_tor: int = 4,
@@ -48,6 +49,7 @@ def two_tier_tree(
     return topo
 
 
+@cached_builder("three-tier-tree")
 def three_tier_tree(
     num_pods: int = 2,
     tors_per_pod: int = 8,

@@ -77,12 +77,16 @@ def rack_level_shuffle(
             f"need more than {target_racks} racks, topology has {len(racks)}"
         )
     rng = random.Random(seed)
+    # One linear pass instead of a servers_in_rack scan per draw; the
+    # per-rack lists are identical, so the RNG stream (and thus the
+    # matrix) is unchanged.
+    by_rack = topo.servers_by_rack()
     matrix: TrafficMatrix = []
     for rack in racks:
         foreign = [r for r in racks if r != rack]
-        for server in topo.servers_in_rack(rack):
+        for server in by_rack.get(rack, []):
             for target in rng.sample(foreign, target_racks):
-                receiver = rng.choice(topo.servers_in_rack(target))
+                receiver = rng.choice(by_rack[target])
                 matrix.append((server, receiver, demand))
     return matrix
 

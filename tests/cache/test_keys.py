@@ -1,0 +1,91 @@
+"""Canonical cache-key encoding: stable, collision-free, type-tagged."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache import CacheKeyError, canonical, digest
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclass(frozen=True)
+class Spec:
+    size: int
+    label: str
+
+
+class Fingerprinted:
+    def __cache_key__(self):
+        return ("fp", "abc123")
+
+
+class TestCanonical:
+    def test_scalar_types_do_not_collide(self):
+        encodings = {canonical(v) for v in (1, 1.0, True, "1", b"1", None)}
+        assert len(encodings) == 6
+
+    def test_dict_order_irrelevant(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_set_order_irrelevant(self):
+        assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+
+    def test_nested_structures(self):
+        value = {"sizes": [1, 2, (3, 4)], "flags": {"x": True}}
+        assert canonical(value) == canonical(dict(reversed(value.items())))
+
+    def test_enum_encodes_type_and_value(self):
+        assert canonical(Color.RED) != canonical(Color.BLUE)
+        assert canonical(Color.RED) != canonical(1)
+
+    def test_dataclass_encodes_fields(self):
+        assert canonical(Spec(3, "a")) != canonical(Spec(4, "a"))
+        assert canonical(Spec(3, "a")) == canonical(Spec(3, "a"))
+
+    def test_cache_key_protocol_wins(self):
+        assert "abc123" in canonical(Fingerprinted())
+
+    def test_unencodable_raises(self):
+        with pytest.raises(CacheKeyError):
+            canonical(object())
+
+    def test_float_exact(self):
+        assert canonical(0.1 + 0.2) != canonical(0.3)
+
+    @given(st.floats(allow_nan=False))
+    def test_float_round_trip_exact(self, x):
+        assert canonical(x) == canonical(float(repr(x)))
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(),
+            lambda inner: st.lists(inner, max_size=3)
+            | st.dictionaries(st.text(max_size=5), inner, max_size=3),
+            max_leaves=10,
+        )
+    )
+    def test_equal_values_encode_identically(self, value):
+        import copy
+
+        assert canonical(value) == canonical(copy.deepcopy(value))
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert digest("ns", 1, (1, 2)) == digest("ns", 1, (1, 2))
+
+    def test_namespace_and_version_salt(self):
+        base = digest("ns", 1, (1, 2))
+        assert digest("other", 1, (1, 2)) != base
+        assert digest("ns", 2, (1, 2)) != base
+
+    def test_hex_sha256_shape(self):
+        value = digest("ns", 1, ())
+        assert len(value) == 64
+        int(value, 16)

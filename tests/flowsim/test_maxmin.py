@@ -18,6 +18,35 @@ def caps(**links):
     return {tuple(k.split("_")): float(v) for k, v in links.items()}
 
 
+class TestFlowValidation:
+    def test_wide_split_with_accumulated_drift_accepted(self):
+        """A 64-way split whose weights drifted a few ULPs per path can
+        sum a handful of nanos away from 1; the tolerance scales with
+        path count so such splits are no longer spuriously rejected."""
+        n = 64
+        paths = tuple(
+            WeightedPath(("s", f"m{i}", "d"), (1.0 + 3e-9) / n) for i in range(n)
+        )
+        flow = Flow(flow_id=0, paths=paths, demand=1.0)
+        assert len(flow.paths) == n
+
+    def test_genuinely_wrong_weights_rejected(self):
+        paths = (
+            WeightedPath(("s", "m", "d"), 0.5),
+            WeightedPath(("s", "n", "d"), 0.4),
+        )
+        with pytest.raises(FlowSimError):
+            Flow(flow_id=0, paths=paths, demand=1.0)
+
+    def test_single_path_tolerance_stays_tight(self):
+        with pytest.raises(FlowSimError):
+            Flow(
+                flow_id=0,
+                paths=(WeightedPath(("s", "d"), 1.0 + 1e-6),),
+                demand=1.0,
+            )
+
+
 class TestSingleLink:
     def test_two_flows_share_equally(self):
         flows = [

@@ -48,6 +48,16 @@ class TestRunCells:
         with pytest.raises(RunnerError):
             run_cells([ExperimentSpec(_square, args=(1,))], workers=0)
 
+    def test_chunksize_preserves_order(self):
+        cells = [ExperimentSpec(_square, args=(i,)) for i in range(11)]
+        expected = run_cells(cells, workers=1)
+        for chunksize in (1, 2, 5, 100):
+            assert run_cells(cells, workers=3, chunksize=chunksize) == expected
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(RunnerError):
+            run_cells([ExperimentSpec(_square, args=(1,))], chunksize=0)
+
     def test_workers_none_uses_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "2")
         assert default_workers() == 2
@@ -76,3 +86,28 @@ class TestSweepDeterminism:
         serial = figure17_sweep(**kwargs, workers=1)
         parallel = figure17_sweep(**kwargs, workers=4)
         assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_figure10_parallel_with_shared_disk_cache_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """Workers warmed from a shared on-disk artifact cache must not
+        change a single bit of the sweep output — the tentpole's
+        determinism criterion."""
+        from repro.cache import configure, reset
+        from repro.experiments import figure10_sweep
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        configure(directory=str(tmp_path / "store"))
+        try:
+            kwargs = dict(num_racks=5, servers_per_rack=4)
+            serial = figure10_sweep(**kwargs, workers=1)
+            parallel = figure10_sweep(**kwargs, workers=4)  # warm disk store
+            # Compared per result: pickling the whole list is sensitive
+            # to cross-result object sharing (serial cells share interned
+            # strings, pool results do not), which differs between serial
+            # and parallel even with caching disabled.
+            assert len(parallel) == len(serial)
+            for par, ser in zip(parallel, serial):
+                assert pickle.dumps(par) == pickle.dumps(ser)
+        finally:
+            reset()

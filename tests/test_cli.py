@@ -82,6 +82,50 @@ class TestScalingCommand:
     def test_invalid_port_count(self, capsys):
         assert main(["scaling", "--ports", "7"]) == 2
 
+    def test_greedy_method(self, capsys):
+        assert main(["scaling", "--ports", "16", "--method", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "racks" in out
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        from repro.cache import configure, reset
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        configure(directory=str(tmp_path / "store"))
+        yield
+        reset()
+
+    def test_stats_text(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hit_rate" in out and "disk_entries" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["cache", "stats", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["enabled"] is True
+        assert "misses" in info and "disk_bytes" in info
+
+    def test_clear_removes_disk_entries(self, capsys):
+        from repro.core.channels import greedy_assignment
+
+        greedy_assignment(9)  # populate the store
+        assert main(["cache", "stats", "--json"]) == 0
+        before = json.loads(capsys.readouterr().out)
+        assert before["disk_entries"] > 0
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--json"]) == 0
+        after = json.loads(capsys.readouterr().out)
+        assert after["disk_entries"] == 0
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
 
 class TestExpandCommand:
     def test_expansion_report(self, capsys):
@@ -125,6 +169,15 @@ class TestSmokeCommand:
     def test_missing_golden_fails_with_hint(self, tmp_path, capsys):
         assert main(["smoke", "--golden", str(tmp_path / "no.json")]) == 1
         assert "--update" in capsys.readouterr().err
+
+    def test_runtime_line_printed(self, tmp_path, capsys):
+        golden = str(tmp_path / "golden.json")
+        assert main(["smoke", "--update", "--golden", golden]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "cache hit-rate" in out
+        assert main(["smoke", "--check", "--golden", golden]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "cache hit-rate" in out
 
 
 class TestFaultRecoveryParser:

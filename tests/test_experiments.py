@@ -115,7 +115,12 @@ class TestBisection:
         return figure10_sweep(num_racks=5, servers_per_rack=4)
 
     def test_grid_complete(self, results):
-        assert len(results) == 12  # 4 fabrics × 3 patterns
+        assert len(results) == 15  # 5 fabrics × 3 patterns
+
+    def test_jellyfish_present(self, results):
+        by_key = {(r.fabric, r.pattern): r.normalized_throughput for r in results}
+        for pattern in ("random permutation", "incast", "rack level shuffle"):
+            assert 0.0 < by_key[("jellyfish", pattern)] <= 1.0
 
     def test_quartz_between_full_and_half(self, results):
         by_key = {(r.fabric, r.pattern): r.normalized_throughput for r in results}

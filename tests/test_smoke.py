@@ -68,7 +68,21 @@ class TestGoldenFile:
     def test_update_then_check_round_trips(self, tmp_path, metrics):
         path = tmp_path / "golden.json"
         written = smoke.update(path)
-        assert written == metrics
+        compared = {
+            k: v for k, v in written.items() if not k.startswith(smoke.RUNTIME_PREFIX)
+        }
+        assert compared == metrics
+        assert smoke.check(path) == []
+
+    def test_runtime_keys_recorded_but_not_compared(self, tmp_path, metrics):
+        path = tmp_path / "golden.json"
+        written = smoke.update(path)
+        assert "runtime.wall_clock_s" in written
+        assert "runtime.cache_hit_rate" in written
+        # A wildly different runtime must never fail the check.
+        golden = json.loads(path.read_text())
+        golden["runtime.wall_clock_s"] = 1e9
+        path.write_text(json.dumps(golden))
         assert smoke.check(path) == []
 
     def test_missing_golden_reported(self, tmp_path):
