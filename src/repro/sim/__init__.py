@@ -8,7 +8,8 @@ simulator: deterministic event engine, Table 16 switch models
 sources used in Sections 6 and 7.
 """
 
-from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.engine import BucketScheduler, Engine, Event, SimulationError
+from repro.sim.fastpath import FASTPATH_ENV, HopPlan, compile_plan
 from repro.sim.faults import (
     FaultInjectionError,
     FaultInjector,
@@ -46,8 +47,12 @@ from repro.sim.trace import (
 )
 
 __all__ = [
+    "BucketScheduler",
     "BurstSource",
     "CCS",
+    "FASTPATH_ENV",
+    "HopPlan",
+    "compile_plan",
     "DEFAULT_PACKET_BYTES",
     "DEFAULT_PROPAGATION_DELAY",
     "DEFAULT_SERVER_FORWARD_LATENCY",

@@ -1,27 +1,43 @@
-"""Deterministic discrete-event engine.
+"""Deterministic discrete-event engine with pluggable schedulers.
 
-A minimal, fast event loop.  Heap entries are plain ``[time, seq,
-callback, args]`` records, so ``heapq`` orders them with C-speed
+A minimal, fast event loop.  Queue entries are plain ``[time, seq,
+callback, args]`` records, so the scheduler orders them with C-speed
 list comparison — ``time`` first, then the unique sequence number
 (the callback is never compared).  The sequence number makes
 simultaneous events fire in scheduling order, so runs are exactly
 reproducible.
 
+Two schedulers share that entry format:
+
+* the default **heap** (``heapq``) — the reference implementation; its
+  pop order defines the engine's contract;
+* a **bucket** (calendar) queue — a ring of fixed-width time buckets
+  plus an overflow heap, tuned to the simulator's near-future event
+  profile (a packet's next event is almost always within a few
+  microseconds of ``now``).  Selected with ``Engine(scheduler="bucket")``
+  or ``REPRO_SCHEDULER=bucket``; property-tested to pop in exactly the
+  heap's order, including FIFO among equal timestamps.
+
 Cancellation is lazy: :meth:`Event.cancel` blanks the entry's callback
 slot in place and the run loop discards blanked entries as they surface.
-When cancelled entries outnumber live ones the heap is compacted, so a
+When cancelled entries outnumber live ones the queue is compacted, so a
 workload that schedules and cancels many timers (e.g. retransmission
-timeouts) does not grow the heap without bound.
+timeouts) does not grow the queue without bound.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from bisect import insort
 from typing import Any, Callable
 
-#: Index of the callback slot in a heap entry; ``None`` marks an entry
+#: Index of the callback slot in a queue entry; ``None`` marks an entry
 #: that was cancelled (or already fired) and must not fire (again).
 _CALLBACK = 2
+
+#: Environment variable selecting the default scheduler for new engines.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
 
 
 class SimulationError(RuntimeError):
@@ -41,7 +57,7 @@ class Event:
         self._engine = engine
 
     def cancel(self) -> bool:
-        """Prevent the callback from firing (lazy removal from the heap).
+        """Prevent the callback from firing (lazy removal from the queue).
 
         Returns ``True`` only when this call revoked a still-pending
         callback.  Idempotent: a second cancel — or cancelling an event
@@ -49,7 +65,7 @@ class Event:
         leaves ``cancelled`` untouched, so the flag always tells the
         truth (fired events never read as cancelled) and the engine's
         cancellation count never includes entries that are no longer in
-        the heap.
+        the queue.
         """
         entry = self._entry
         if entry[_CALLBACK] is None:
@@ -61,15 +77,166 @@ class Event:
         return True
 
 
-class Engine:
-    """The event loop.  Time starts at 0.0 seconds."""
+class BucketScheduler:
+    """Calendar queue: a ring of fixed-width buckets plus an overflow heap.
 
-    def __init__(self) -> None:
+    Events within the addressable window (``nbuckets × width`` seconds
+    from the ring's base time) append to their bucket in O(1); events
+    beyond it go to an overflow heap and migrate into the ring as the
+    window advances.  A bucket is sorted once when it becomes the active
+    (draining) bucket; inserts that land in the active bucket — the
+    common case for a simulator whose next event is within one bucket of
+    ``now`` — use ``bisect.insort`` past the drain cursor, which
+    preserves FIFO order among equal timestamps because sequence numbers
+    only grow.
+
+    Pop order is identical to the heap scheduler's: ``(time, seq)``
+    ascending.  Entries are the engine's ``[time, seq, callback, args]``
+    lists, so lazy cancellation (blanking the callback slot) works
+    unchanged.
+    """
+
+    __slots__ = (
+        "width", "nbuckets", "_buckets", "_cur", "_base", "_pos",
+        "_ring_count", "_far", "_len",
+    )
+
+    def __init__(self, width: float = 1e-6, nbuckets: int = 256) -> None:
+        if width <= 0:
+            raise SimulationError(f"bucket width must be positive, got {width}")
+        if nbuckets < 1:
+            raise SimulationError(f"need at least one bucket, got {nbuckets}")
+        self.width = width
+        self.nbuckets = nbuckets
+        self._buckets: list[list[list]] = [[] for _ in range(nbuckets)]
+        self._cur = 0  # ring index of the active bucket
+        self._base = 0.0  # start time of the active bucket's window
+        self._pos = 0  # drain cursor into the active bucket
+        self._ring_count = 0  # entries anywhere in the ring
+        self._far: list[list] = []  # heap of entries beyond the window
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, entry: list) -> None:
+        """Insert one entry; ``entry[0]`` must be ≥ the last popped time."""
+        rel = entry[0] - self._base
+        width = self.width
+        if rel < width:
+            # Active bucket (or a time at/before its window, which can
+            # only be ≥ the last pop): keep it sorted past the cursor.
+            insort(self._buckets[self._cur], entry, self._pos)
+            self._ring_count += 1
+        else:
+            index = int(rel / width)
+            if index < self.nbuckets:
+                self._buckets[(self._cur + index) % self.nbuckets].append(entry)
+                self._ring_count += 1
+            else:
+                heapq.heappush(self._far, entry)
+        self._len += 1
+
+    def pop(self) -> list:
+        """Remove and return the earliest entry; IndexError when empty."""
+        while True:
+            bucket = self._buckets[self._cur]
+            pos = self._pos
+            if pos < len(bucket):
+                entry = bucket[pos]
+                self._pos = pos + 1
+                self._ring_count -= 1
+                self._len -= 1
+                if self._pos == len(bucket):
+                    del bucket[:]
+                    self._pos = 0
+                return entry
+            if self._len == 0:
+                raise IndexError("pop from an empty scheduler")
+            del bucket[:]
+            self._pos = 0
+            if self._ring_count:
+                self._advance()
+            else:
+                # Ring drained: jump the window straight to the overflow.
+                self._base = self._far[0][0]
+                self._migrate()
+                self._buckets[self._cur].sort()
+            # Loop: the new active bucket may still be empty (sparse ring).
+
+    def _advance(self) -> None:
+        """Step the window one bucket forward and activate the next bucket."""
+        self._cur = (self._cur + 1) % self.nbuckets
+        self._base += self.width
+        if self._far:
+            self._migrate()
+        self._buckets[self._cur].sort()
+
+    def _migrate(self) -> None:
+        """Pull overflow entries that now fall inside the window."""
+        far = self._far
+        horizon = self._base + self.nbuckets * self.width
+        base, width, cur, nbuckets = self._base, self.width, self._cur, self.nbuckets
+        buckets = self._buckets
+        heappop = heapq.heappop
+        while far and far[0][0] < horizon:
+            entry = heappop(far)
+            index = int((entry[0] - base) / width)
+            buckets[(cur + index) % nbuckets].append(entry)
+            self._ring_count += 1
+
+    def compact(self) -> None:
+        """Drop cancelled (blanked) entries; live ordering is unchanged."""
+        survivors = []
+        for index, bucket in enumerate(self._buckets):
+            start = self._pos if index == self._cur else 0
+            survivors.extend(e for e in bucket[start:] if e[_CALLBACK] is not None)
+            del bucket[:]
+        survivors.extend(e for e in self._far if e[_CALLBACK] is not None)
+        del self._far[:]
+        self._pos = 0
+        self._ring_count = 0
+        self._len = 0
+        for entry in survivors:
+            self.push(entry)
+
+
+def _make_scheduler(spec: "str | BucketScheduler | None") -> "BucketScheduler | None":
+    """Resolve a scheduler spec; ``None`` means the default heap."""
+    if spec is None:
+        spec = os.environ.get(SCHEDULER_ENV, "heap")
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name in ("", "heap"):
+            return None
+        if name in ("bucket", "calendar"):
+            return BucketScheduler()
+        raise SimulationError(
+            f"unknown scheduler {spec!r}; options: 'heap', 'bucket'"
+        )
+    return spec  # duck-typed scheduler instance
+
+
+class Engine:
+    """The event loop.  Time starts at 0.0 seconds.
+
+    ``scheduler`` selects the pending-event queue: ``"heap"`` (default,
+    the reference implementation), ``"bucket"`` (calendar queue), or a
+    pre-built scheduler instance.  When the argument is omitted the
+    ``REPRO_SCHEDULER`` environment variable decides.
+    """
+
+    __slots__ = ("now", "_heap", "_sched", "_seq", "_n_cancelled", "events_processed")
+
+    def __init__(self, scheduler: "str | BucketScheduler | None" = None) -> None:
         self.now = 0.0
-        self._heap: list[list] = []
         self._seq = 0
         self._n_cancelled = 0
         self.events_processed = 0
+        self._sched = _make_scheduler(scheduler)
+        # The heap scheduler is inlined on the hot paths: ``_heap`` is
+        # the live list when it is in use, ``None`` otherwise.
+        self._heap: list[list] | None = [] if self._sched is None else None
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -89,7 +256,11 @@ class Engine:
             )
         entry = [time, self._seq, callback, args]
         self._seq += 1
-        heapq.heappush(self._heap, entry)
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        else:
+            self._sched.push(entry)
         return Event(entry, self)
 
     def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
@@ -104,61 +275,160 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        heapq.heappush(self._heap, [time, self._seq, callback, args])
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, [time, self._seq, callback, args])
+        else:
+            self._sched.push([time, self._seq, callback, args])
         self._seq += 1
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Process events until the heap empties, ``until`` passes, or
+        """Process events until the queue empties, ``until`` passes, or
         ``max_events`` have fired.
 
         Advances ``now`` to ``until`` at the end when a horizon is given,
-        even if the heap drained earlier.
+        even if the queue drained earlier (unless ``max_events`` stopped
+        the run first).
         """
+        if self._heap is not None and max_events is None:
+            # Specialized heap loops for the two hot call shapes; the
+            # shared general loop below covers everything else.
+            if until is None:
+                self._run_heap_unbounded()
+            else:
+                self._run_heap_until(until)
+            return
+        processed = 0
+        try:
+            while True:
+                entry = self._pop_entry()
+                if entry is None:
+                    break
+                if max_events is not None and processed >= max_events:
+                    self._push_entry(entry)
+                    return
+                if until is not None and entry[0] > until:
+                    self._push_entry(entry)
+                    break
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    self._n_cancelled -= 1
+                    continue
+                # Blank the entry before firing so a handle cancelled
+                # from inside its own callback stays a no-op.
+                entry[_CALLBACK] = None
+                self.now = entry[0]
+                args = entry[3]
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                processed += 1
+        finally:
+            self.events_processed += processed
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_heap_unbounded(self) -> None:
+        """Drain the heap completely (no horizon, no event bound)."""
         heap = self._heap
         heappop = heapq.heappop
         processed = 0
-        while heap:
-            if max_events is not None and processed >= max_events:
-                return
-            entry = heap[0]
-            if until is not None and entry[0] > until:
-                break
-            heappop(heap)
-            callback = entry[_CALLBACK]
-            if callback is None:
-                self._n_cancelled -= 1
-                continue
-            # Blank the entry before firing so a handle cancelled from
-            # inside its own callback stays a no-op.
-            entry[_CALLBACK] = None
-            args = entry[3]
-            self.now = entry[0]
-            callback(*args)
-            processed += 1
-            self.events_processed += 1
-        if until is not None and until > self.now:
+        try:
+            while True:
+                entry = heappop(heap)
+                callback = entry[2]
+                if callback is None:
+                    self._n_cancelled -= 1
+                    continue
+                entry[2] = None
+                self.now = entry[0]
+                args = entry[3]
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                processed += 1
+        except IndexError:
+            pass  # heap drained
+        finally:
+            self.events_processed += processed
+
+    def _run_heap_until(self, until: float) -> None:
+        """Drain the heap up to (and including) time ``until``."""
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        processed = 0
+        try:
+            while True:
+                entry = heappop(heap)
+                time = entry[0]
+                if time > until:
+                    heappush(heap, entry)  # same (time, seq): order kept
+                    break
+                callback = entry[2]
+                if callback is None:
+                    self._n_cancelled -= 1
+                    continue
+                entry[2] = None
+                self.now = time
+                args = entry[3]
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                processed += 1
+        except IndexError:
+            pass  # heap drained before the horizon
+        finally:
+            self.events_processed += processed
+        if until > self.now:
             self.now = until
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return len(self._heap) - self._n_cancelled
+        queued = len(self._heap) if self._heap is not None else len(self._sched)
+        return queued - self._n_cancelled
 
     # -- internal ----------------------------------------------------------------
+
+    def _pop_entry(self) -> list | None:
+        """Earliest queued entry (live or blanked), or ``None`` if empty."""
+        try:
+            if self._heap is not None:
+                return heapq.heappop(self._heap)
+            return self._sched.pop()
+        except IndexError:
+            return None
+
+    def _push_entry(self, entry: list) -> None:
+        """Return an entry taken by :meth:`_pop_entry` to the queue."""
+        if self._heap is not None:
+            heapq.heappush(self._heap, entry)
+        else:
+            self._sched.push(entry)
 
     def _note_cancelled(self) -> None:
         """Record one cancellation; compact when the dead outnumber the live."""
         self._n_cancelled += 1
-        if self._n_cancelled > len(self._heap) // 2:
+        queued = len(self._heap) if self._heap is not None else len(self._sched)
+        if self._n_cancelled > queued // 2:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (heap order is re-derived
-        from the ``(time, seq)`` prefix, so live ordering is unchanged).
+        """Drop cancelled entries (queue order is re-derived from the
+        ``(time, seq)`` prefix, so live ordering is unchanged).
 
         Compaction is in place — ``run`` holds a reference to the heap
         list while events fire, and cancellations from inside a callback
         must stay visible to that loop.
         """
-        self._heap[:] = [entry for entry in self._heap if entry[_CALLBACK] is not None]
-        heapq.heapify(self._heap)
+        if self._heap is not None:
+            self._heap[:] = [
+                entry for entry in self._heap if entry[_CALLBACK] is not None
+            ]
+            heapq.heapify(self._heap)
+        else:
+            self._sched.compact()
         self._n_cancelled = 0

@@ -1,0 +1,121 @@
+"""Compiled per-path forwarding plans — the simulator's fast path.
+
+The reference forwarding loop (:meth:`Network._transmit` /
+:meth:`Network._arrive`) re-derives the same per-hop facts for every
+packet at every hop: the link record behind a ``(u, v)`` dict lookup,
+the switch model behind a node lookup, and the cut-through serialization
+credit from two more link lookups.  For a path that thousands of packets
+share, all of that is loop-invariant.
+
+A :class:`HopPlan` resolves it once per unique path into parallel
+tuples indexed by hop number, so the fast-path loop walks plain tuple
+indices with zero dict lookups:
+
+* ``keys[h]`` — the directed link ``(path[h], path[h+1])``, used only
+  for the dead-link check and in-flight fault tracking;
+* ``ser[h]`` — serialization factor (seconds per byte) of link ``h``;
+* ``ports[h]`` / ``caps[h]`` — the output :class:`PortState` and link
+  capacity (the capacity feeds the bounded-buffer backlog check);
+* ``lat[h]`` / ``latf[h]`` — the forwarding delay charged at node
+  ``path[h]`` before transmitting on link ``h``, folded into the affine
+  form ``earliest = now + size * latf[h] + lat[h]``.  Store-and-forward
+  hops have ``latf == 0.0``; cut-through hops carry
+  ``-min(ser_in, ser_out)`` so the serialization credit is one multiply.
+
+The affine form is **bit-identical** to the reference arithmetic:
+``size * latf`` equals ``-(min(ser_in, ser_out) * size)`` exactly (IEEE
+754 multiplication is sign-symmetric and monotonic, so the minimum
+commutes with the scaling), and ``now + (-x) + lat`` performs the same
+two additions, in the same order, as the reference ``(now - x) + lat``.
+
+Plans hold no mutable forwarding state — ports stay owned by the
+network — so a plan is shared by every packet on its path and survives
+fault events structurally: dead links are still checked per transmit
+against the network's live ``_dead_links`` set, which is what preserves
+severing, detours, and drop accounting exactly.  The network still
+clears its plan cache on :meth:`Network.fail_link` /
+:meth:`Network.repair_link` so the cache cannot accumulate stale paths
+across fault churn.  Set ``REPRO_FASTPATH_DISABLE=1`` to force the
+reference loop; both paths produce bit-identical metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.routing.base import Path
+    from repro.sim.network import PortState
+
+#: Environment variable that forces the reference (uncompiled) loop.
+FASTPATH_ENV = "REPRO_FASTPATH_DISABLE"
+
+
+class HopPlan:
+    """Per-path forwarding chain, resolved once and walked by index."""
+
+    __slots__ = ("path", "last", "keys", "ser", "ports", "caps", "lat", "latf")
+
+    def __init__(
+        self,
+        path: "Path",
+        keys: tuple,
+        ser: tuple,
+        ports: tuple,
+        caps: tuple,
+        lat: tuple,
+        latf: tuple,
+    ) -> None:
+        self.path = path
+        self.last = len(path) - 1  # hop index of the destination node
+        self.keys = keys
+        self.ser = ser
+        self.ports = ports
+        self.caps = caps
+        self.lat = lat
+        self.latf = latf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HopPlan({' -> '.join(self.path)})"
+
+
+def compile_plan(
+    link_rec: "dict[tuple[str, str], tuple[float, PortState, float]]",
+    hop_rec: "dict[str, tuple[bool, float]]",
+    path: "Path",
+) -> HopPlan:
+    """Resolve ``path`` against the network's link and node records.
+
+    Raises :class:`~repro.sim.network.NetworkSimError` if any hop has no
+    link — the same failure the reference loop reports lazily when the
+    packet reaches that hop.
+    """
+    n = len(path)
+    keys = []
+    ser = []
+    ports = []
+    caps = []
+    for h in range(n - 1):
+        key = (path[h], path[h + 1])
+        rec = link_rec.get(key)
+        if rec is None:
+            from repro.sim.network import NetworkSimError
+
+            raise NetworkSimError(f"no link {path[h]!r} → {path[h + 1]!r} on path")
+        keys.append(key)
+        ser.append(rec[0])
+        ports.append(rec[1])
+        caps.append(rec[2])
+    lat = [0.0] * max(1, n - 1)
+    latf = [0.0] * max(1, n - 1)
+    for h in range(1, n - 1):
+        cut_through, latency = hop_rec[path[h]]
+        lat[h] = latency
+        if cut_through:
+            ser_in = ser[h - 1]
+            ser_out = ser[h]
+            latf[h] = -(ser_in if ser_in < ser_out else ser_out)
+    return HopPlan(
+        path, tuple(keys), tuple(ser), tuple(ports), tuple(caps),
+        tuple(lat), tuple(latf),
+    )

@@ -24,6 +24,7 @@ saturation in Figure 20).
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,6 +32,7 @@ import networkx as nx
 
 from repro.routing.base import Path, Router
 from repro.sim.engine import Engine
+from repro.sim.fastpath import FASTPATH_ENV, HopPlan, compile_plan
 from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.topology.base import Topology
@@ -65,6 +67,7 @@ class Packet:
     delivered_at: float | None = None
     dropped: bool = False  # severed mid-flight by a link failure
     rerouted: bool = False  # detoured around a dead link after injection
+    plan: HopPlan | None = field(default=None, repr=False)  # compiled fast path
 
     @property
     def latency(self) -> float:
@@ -95,12 +98,20 @@ class Network:
         server_forward_latency: float = DEFAULT_SERVER_FORWARD_LATENCY,
         host_receive_latency: float = 0.0,
         buffer_bytes: float | None = None,
+        fastpath: bool | None = None,
     ) -> None:
         """``buffer_bytes`` bounds each output port's queue: a packet
         arriving to a port whose backlog would exceed the buffer is
         tail-dropped (counted in ``packets_dropped``).  ``None`` keeps
         the paper's unbounded-queue model, where congestion appears
-        purely as delay."""
+        purely as delay.
+
+        ``fastpath`` selects the forwarding loop: ``True`` walks
+        compiled per-path :class:`~repro.sim.fastpath.HopPlan` chains,
+        ``False`` runs the reference per-hop lookup loop.  The default
+        (``None``) enables the fast path unless the
+        ``REPRO_FASTPATH_DISABLE`` environment variable is set; both
+        loops produce bit-identical results."""
         if buffer_bytes is not None and buffer_bytes <= 0:
             raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
         self.topo = topo
@@ -148,6 +159,13 @@ class Network:
             self._hop_rec[switch] = (model.cut_through, model.latency)
         for server in topo.servers():
             self._hop_rec[server] = (False, server_forward_latency)
+        if fastpath is None:
+            fastpath = os.environ.get(FASTPATH_ENV, "0") in ("", "0")
+        #: Whether injections walk compiled plans (read-only after init).
+        self.fastpath_enabled = fastpath
+        # Compiled forwarding plans, one per unique path; cleared by
+        # fail_link/repair_link so fault churn cannot grow a stale cache.
+        self._plans: dict[Path, HopPlan] = {}
 
     # -- injection ------------------------------------------------------------------
 
@@ -171,6 +189,8 @@ class Network:
         route = path if path is not None else self.router.route(src, dst, flow_id)
         if route[0] != src or route[-1] != dst:
             raise NetworkSimError(f"path {route} does not join {src!r} → {dst!r}")
+        if type(route) is not tuple:
+            route = tuple(route)
         packet = Packet(
             packet_id=next(self._packet_ids),
             src=src,
@@ -181,7 +201,11 @@ class Network:
             group=group,
             on_delivered=on_delivered,
         )
-        self._transmit(packet, earliest_start=self.engine.now)
+        if self.fastpath_enabled:
+            packet.plan = self._plans.get(route) or self._compile_plan(route)
+            self._transmit_fast(packet, earliest_start=self.engine.now)
+        else:
+            self._transmit(packet, earliest_start=self.engine.now)
         return packet
 
     def note_unroutable(self, group: str | None = None) -> None:
@@ -274,6 +298,79 @@ class Network:
             earliest = now + latency
         self._transmit(packet, earliest_start=earliest)
 
+    # -- compiled fast path -----------------------------------------------------------
+
+    def _compile_plan(self, route: Path) -> HopPlan:
+        """Compile and cache the hop plan for one path."""
+        plan = compile_plan(self._link_rec, self._hop_rec, route)
+        self._plans[route] = plan
+        return plan
+
+    def _transmit_fast(self, packet: Packet, earliest_start: float) -> None:
+        """Plan-walking twin of :meth:`_transmit`: same arithmetic, same
+        event schedule, zero dict lookups."""
+        plan = packet.plan
+        hop = packet.hop
+        if self._dead_links and plan.keys[hop] in self._dead_links:
+            self._reroute_or_drop(packet, earliest_start)
+            return
+        port = plan.ports[hop]
+        size = packet.size_bytes
+        ser = size * plan.ser[hop]
+        if self.buffer_bytes is not None:
+            backlog_seconds = max(
+                0.0, port.busy_until - max(earliest_start, self.engine.now)
+            )
+            backlog_bytes = backlog_seconds * plan.caps[hop] / 8.0
+            if backlog_bytes + size > self.buffer_bytes:
+                port.packets_dropped += 1
+                self.packets_dropped += 1
+                return
+        start = port.busy_until
+        if start < earliest_start:
+            start = earliest_start
+        tail_out = start + ser
+        port.busy_until = tail_out
+        port.packets_sent += 1
+        port.bytes_sent += size
+        if self._track_in_flight:
+            self._in_flight.setdefault(plan.keys[hop], set()).add(packet)
+        self.engine.call_at(
+            tail_out + self.propagation_delay, self._arrive_fast, packet
+        )
+
+    def _arrive_fast(self, packet: Packet) -> None:
+        """Plan-walking twin of :meth:`_arrive`.
+
+        The per-node forwarding delay is the plan's precomputed affine
+        form ``now + size * latf + lat``, which is bit-identical to the
+        reference cut-through/store-and-forward arithmetic (see
+        :mod:`repro.sim.fastpath`).
+        """
+        if packet.dropped:
+            return  # severed by a link failure while in flight
+        hop = packet.hop + 1
+        plan = packet.plan
+        if self._track_in_flight:
+            flight = self._in_flight.get(plan.keys[hop - 1])
+            if flight is not None:
+                flight.discard(packet)
+        packet.hop = hop
+        now = self.engine.now
+
+        if hop == plan.last:
+            packet.delivered_at = now + self.host_receive_latency
+            self.packets_delivered += 1
+            self.stats.record(packet.latency, group=packet.group)
+            if self._track_in_flight:
+                self.fault_stats.record_delivery(packet.group, now)
+            if packet.on_delivered is not None:
+                packet.on_delivered(packet, packet.delivered_at)
+            return
+
+        earliest = now + packet.size_bytes * plan.latf[hop] + plan.lat[hop]
+        self._transmit_fast(packet, earliest_start=earliest)
+
     # -- runtime faults ---------------------------------------------------------------
 
     def enable_fault_tracking(self) -> None:
@@ -322,6 +419,7 @@ class Network:
         self.packets_dropped_fault += dropped
         self.packets_dropped += dropped
         self._detour_cache.clear()
+        self._plans.clear()
         self.router.invalidate_links([(u, v)])
         self.fault_stats.log(
             now, "link_down", link=(u, v), detail=f"dropped {dropped} in flight"
@@ -344,6 +442,7 @@ class Network:
         self._dead_links.discard((u, v))
         self._dead_links.discard((v, u))
         self._detour_cache.clear()
+        self._plans.clear()
         self.router.invalidate_links([(u, v)], repaired=True)
         self.fault_stats.log(self.engine.now, "link_up", link=(u, v))
         return True
@@ -376,7 +475,11 @@ class Network:
             packet.rerouted = True
             self.packets_rerouted += 1
             self.fault_stats.record_reroute(packet.group, self.engine.now)
-        self._transmit(packet, earliest_start=earliest_start)
+        if self.fastpath_enabled:
+            packet.plan = self._plans.get(detour) or self._compile_plan(detour)
+            self._transmit_fast(packet, earliest_start=earliest_start)
+        else:
+            self._transmit(packet, earliest_start=earliest_start)
 
     # -- introspection ---------------------------------------------------------------
 

@@ -8,19 +8,41 @@ Three source types cover every workload in the paper's evaluation:
   bursts separated by idle intervals sized to hit a target bandwidth.
 * :class:`RPCSource` — Section 6.1's latency probe: a closed-loop
   request/response ping-pong ("Hello World" RPC), one call at a time.
+
+Poisson draws are **vectorized**: gaps and destination picks come from
+two independent numpy streams that are pre-drawn in chunks, so a
+million-packet source pays one RNG call per few hundred packets instead
+of one per packet.  numpy generators fill arrays from the same bit
+stream an element-at-a-time draw would consume, so the batched sequence
+is bit-identical for every chunk size — ``chunk=1`` (what
+``REPRO_FASTPATH_DISABLE=1`` forces) is the per-packet reference and
+produces exactly the same packets.  Each packet's *injection* still
+fires as its own engine event: port queueing interleaves with other
+traffic at arrival times, so arrivals cannot be applied in batch
+without changing results.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.routing.base import RoutingError
+from repro.sim.fastpath import FASTPATH_ENV
 from repro.sim.network import Network, Packet
 from repro.units import BITS_PER_BYTE
 
 #: Packet size used throughout the paper's simulations (Section 7).
 DEFAULT_PACKET_BYTES = 400
+
+#: Poisson pre-draw batch size (packets per RNG call).
+DEFAULT_CHUNK = 256
+
+#: Non-negative 64-bit seed material for numpy's SeedSequence.
+_SEED_MASK = (1 << 64) - 1
 
 
 class SourceError(ValueError):
@@ -37,6 +59,13 @@ class PoissonSource:
     multipath routers (VLB) spread the stream packet-by-packet rather
     than pinning it to one path — the granularity the paper's VLB needs
     when a handful of heavy flows share one channel (Section 7.2).
+
+    Gap and destination draws come from two independent seeded numpy
+    streams, pre-drawn ``chunk`` packets at a time.  The packet sequence
+    is identical for every chunk size (numpy fills batches from the same
+    bit stream as repeated scalar draws), so batching is purely a speed
+    knob; ``chunk=None`` picks the default batch, or the per-packet
+    reference when ``REPRO_FASTPATH_DISABLE`` is set.
     """
 
     def __init__(
@@ -52,9 +81,15 @@ class PoissonSource:
         stop_at: float | None = None,
         vary_flow_per_packet: bool = False,
         on_delivered: Callable[[Packet, float], None] | None = None,
+        chunk: int | None = None,
     ) -> None:
         if rate_pps <= 0:
             raise SourceError(f"rate must be positive, got {rate_pps}")
+        if chunk is None:
+            disabled = os.environ.get(FASTPATH_ENV, "0") not in ("", "0")
+            chunk = 1 if disabled else DEFAULT_CHUNK
+        if chunk < 1:
+            raise SourceError(f"chunk must be at least 1, got {chunk}")
         self.network = network
         self.src = src
         self._dsts = [dst] if isinstance(dst, str) else list(dst)
@@ -68,7 +103,18 @@ class PoissonSource:
         self.vary_flow_per_packet = vary_flow_per_packet
         self.on_delivered = on_delivered
         self.packets_sent = 0
-        self._rng = random.Random(seed)
+        self.chunk = chunk
+        # Independent streams so the interleaving of gap and destination
+        # draws — and therefore the values — cannot depend on ``chunk``.
+        self._gap_rng = np.random.default_rng((seed & _SEED_MASK, 0))
+        self._gaps: list[float] = []
+        self._gap_i = 0
+        if len(self._dsts) > 1:
+            self._dst_rng = np.random.default_rng((seed & _SEED_MASK, 1))
+            self._dst_picks: list[int] = []
+            self._dst_i = 0
+        else:
+            self._dst_rng = None
         self._running = False
 
     @classmethod
@@ -95,7 +141,28 @@ class PoissonSource:
         self._running = False
 
     def _next_gap(self) -> float:
-        return self._rng.expovariate(self.rate_pps)
+        """Next exponential inter-arrival gap (pre-drawn in batches)."""
+        i = self._gap_i
+        gaps = self._gaps
+        if i >= len(gaps):
+            batch = self._gap_rng.standard_exponential(self.chunk)
+            batch /= self.rate_pps
+            gaps = self._gaps = batch.tolist()
+            i = 0
+        self._gap_i = i + 1
+        return gaps[i]
+
+    def _next_dst(self) -> str:
+        """Next uniformly sampled destination (pre-drawn in batches)."""
+        i = self._dst_i
+        picks = self._dst_picks
+        if i >= len(picks):
+            picks = self._dst_picks = self._dst_rng.integers(
+                0, len(self._dsts), self.chunk
+            ).tolist()
+            i = 0
+        self._dst_i = i + 1
+        return self._dsts[picks[i]]
 
     def _fire(self) -> None:
         if not self._running:
@@ -104,7 +171,7 @@ class PoissonSource:
         if self.stop_at is not None and now >= self.stop_at:
             self._running = False
             return
-        dst = self._dsts[0] if len(self._dsts) == 1 else self._rng.choice(self._dsts)
+        dst = self._dsts[0] if self._dst_rng is None else self._next_dst()
         flow = self.flow_id
         if self.vary_flow_per_packet:
             flow = self.flow_id * 1_000_003 + self.packets_sent
@@ -269,6 +336,7 @@ def poisson_pair_sources(
     group: str | None = None,
     seed: int = 0,
     make_flow_id: Callable[[int], int] | None = None,
+    chunk: int | None = None,
 ) -> list[PoissonSource]:
     """One Poisson stream per (src, dst) pair — the paper's task model."""
     sources = []
@@ -284,6 +352,7 @@ def poisson_pair_sources(
                 group=group,
                 flow_id=flow_id,
                 seed=seed + index,
+                chunk=chunk,
             )
         )
     return sources

@@ -88,6 +88,10 @@ class TracingNetwork(Network):
     def __init__(
         self, topo: Topology, router: Router, engine: Engine | None = None, **kwargs
     ) -> None:
+        # Tracing hooks into the reference _transmit/_arrive loop; the
+        # compiled fast path would skip the bookkeeping, so pin it off
+        # (tracing is a diagnostic, not a hot path).
+        kwargs.setdefault("fastpath", False)
         super().__init__(topo, router, engine=engine, **kwargs)
         self._ledgers: dict[int, _PacketLedger] = {}
         self._pending_switch: dict[int, float] = {}

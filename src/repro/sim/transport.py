@@ -19,6 +19,7 @@ congestion dynamics without re-implementing a kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.sim.engine import Event
@@ -71,6 +72,7 @@ class TCPFlow:
     _rto_event: Event | None = field(init=False, default=None)
     _current_rto: float = field(init=False)
     _pacing_gate: float = field(init=False, default=0.0)
+    _pacing_wake: Event | None = field(init=False, default=None)
     _in_recovery_until: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -131,10 +133,20 @@ class TCPFlow:
             and self.next_seq - self.highest_acked < int(self.cwnd)
         ):
             if self.pacing_rate_bps is not None and self._pacing_gate > now:
-                self.network.engine.schedule_at(self._pacing_gate, self._fill_window)
+                # One armed wake-up at a time: overlapping ACKs used to
+                # each schedule another _fill_window at the gate, piling
+                # up duplicate events that all fired into a no-op loop.
+                if self._pacing_wake is None:
+                    self._pacing_wake = self.network.engine.schedule_at(
+                        self._pacing_gate, self._pacing_fire
+                    )
                 return
             self._send_segment(self.next_seq)
             self.next_seq += 1
+
+    def _pacing_fire(self) -> None:
+        self._pacing_wake = None
+        self._fill_window()
 
     def _send_segment(self, seq: int) -> None:
         if self.pacing_rate_bps is not None:
@@ -147,12 +159,12 @@ class TCPFlow:
             self.mss,
             flow_id=self.flow_id,
             group=self.group,
-            on_delivered=lambda packet, when, s=seq: self._data_arrived(s),
+            on_delivered=partial(self._data_arrived, seq),
         )
 
     # -- receiver side ------------------------------------------------------------------
 
-    def _data_arrived(self, seq: int) -> None:
+    def _data_arrived(self, seq: int, _packet: object = None, _when: float = 0.0) -> None:
         """Receiver got segment ``seq``; sends a cumulative ACK."""
         self._received.add(seq)
         while self._rcv_next in self._received:
@@ -164,12 +176,12 @@ class TCPFlow:
             self.src,
             ACK_BYTES,
             flow_id=self.flow_id + 1_000_000,
-            on_delivered=lambda packet, when, a=ack: self._ack_arrived(a),
+            on_delivered=partial(self._ack_arrived, ack),
         )
 
     # -- sender reactions -----------------------------------------------------------------
 
-    def _ack_arrived(self, ack: int) -> None:
+    def _ack_arrived(self, ack: int, _packet: object = None, _when: float = 0.0) -> None:
         if self.done:
             return
         if ack > self.highest_acked:

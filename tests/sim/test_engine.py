@@ -155,8 +155,9 @@ class TestRunControl:
         # Cancel handles one at a time straight through the compaction
         # threshold: pending() must stay exact on both sides, and
         # handles whose entries compaction already removed must refuse
-        # to double-count.
-        engine = Engine()
+        # to double-count.  White-box on the heap, so pin it explicitly
+        # (REPRO_SCHEDULER may select the bucket queue).
+        engine = Engine(scheduler="heap")
         live = [engine.schedule(100.0 + i, lambda: None) for i in range(4)]
         doomed = [engine.schedule(float(i + 1), lambda: None) for i in range(20)]
         for index, event in enumerate(doomed):
@@ -172,7 +173,7 @@ class TestRunControl:
         assert not any(event.cancelled for event in live)
 
     def test_heap_compacts_when_mostly_cancelled(self):
-        engine = Engine()
+        engine = Engine(scheduler="heap")
         keep = engine.schedule(100.0, lambda: None)
         doomed = [engine.schedule(float(i + 1), lambda: None) for i in range(64)]
         for event in doomed:

@@ -1,0 +1,205 @@
+"""Compiled forwarding fast path: bit-identical to the reference loop.
+
+The fast path (:mod:`repro.sim.fastpath`) must be a pure speed change:
+every metric — per-packet latencies, drop/reroute counters, even the
+engine's event count — must match the reference ``_transmit``/``_arrive``
+loop exactly, including under mid-run fault injection (which invalidates
+compiled plans) and bounded-buffer tail drops.
+"""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim import Network, NetworkSimError, ULL
+from repro.sim.fastpath import compile_plan
+from repro.sim.network import DEFAULT_PROPAGATION_DELAY
+from repro.sim.sources import PoissonSource
+from repro.units import GBPS, serialization_delay
+
+
+def run_fingerprint(fastpath, buffer_bytes=None, fault=False):
+    """Run a fixed workload; return every externally visible number."""
+    topo = T.three_tier_tree()
+    net = Network(
+        topo, ECMPRouter(topo), buffer_bytes=buffer_bytes, fastpath=fastpath
+    )
+    engine = net.engine
+    servers = topo.servers()
+    # Six senders converge on one receiver: the shared downlink
+    # oversubscribes (~11.5 Gbps offered into 10 Gbps), so bounded
+    # buffers genuinely tail-drop.
+    sources = [
+        PoissonSource(
+            net, servers[i], servers[-1], rate_pps=600_000.0,
+            seed=i, flow_id=i, group="load", chunk=1 if not fastpath else None,
+        )
+        for i in range(6)
+    ]
+    for source in sources:
+        source.start()
+    if fault:
+        # Cut a link on the first pair's route mid-run, repair later:
+        # this severs in-flight packets, forces detours, and must clear
+        # the compiled-plan cache both times.
+        probe = net.router.route(servers[0], servers[-1], 0)
+        u, v = probe[1], probe[2]
+        net.enable_fault_tracking()
+        engine.schedule(0.004, lambda: net.fail_link(u, v))
+        engine.schedule(0.008, lambda: net.repair_link(u, v))
+    engine.run(until=0.012)
+    return (
+        net.packets_delivered,
+        net.packets_dropped,
+        net.packets_dropped_fault,
+        net.packets_rerouted,
+        engine.events_processed,
+        tuple(net.stats.samples),
+    )
+
+
+class TestEquivalence:
+    def test_plain_traffic_bit_identical(self):
+        assert run_fingerprint(True) == run_fingerprint(False)
+
+    def test_bounded_buffer_drops_bit_identical(self):
+        fast = run_fingerprint(True, buffer_bytes=1600)
+        ref = run_fingerprint(False, buffer_bytes=1600)
+        assert fast == ref
+        assert fast[1] > 0  # the regime actually dropped packets
+
+    def test_fault_injection_bit_identical(self):
+        fast = run_fingerprint(True, fault=True)
+        ref = run_fingerprint(False, fault=True)
+        assert fast == ref
+
+    def test_fault_and_buffer_bit_identical(self):
+        fast = run_fingerprint(True, buffer_bytes=3000, fault=True)
+        ref = run_fingerprint(False, buffer_bytes=3000, fault=True)
+        assert fast == ref
+
+
+class TestPlanCache:
+    @pytest.fixture
+    def net(self):
+        topo = T.three_tier_tree()
+        return Network(topo, ECMPRouter(topo), fastpath=True)
+
+    def test_plan_shared_across_packets(self, net):
+        first = net.send("h0.0", "h15.0", 400)
+        second = net.send("h0.0", "h15.0", 400)
+        assert first.plan is second.plan
+        assert len(net._plans) == 1
+
+    def test_distinct_paths_get_distinct_plans(self, net):
+        a = net.send("h0.0", "h15.0", 400, flow_id=0)
+        b = net.send("h1.0", "h14.0", 400, flow_id=1)
+        assert a.plan is not b.plan
+
+    def test_fail_link_clears_cache(self, net):
+        packet = net.send("h0.0", "h15.0", 400)
+        net.run()
+        assert net._plans
+        u, v = packet.path[1], packet.path[2]
+        net.fail_link(u, v)
+        assert not net._plans
+
+    def test_repair_link_clears_cache(self, net):
+        packet = net.send("h0.0", "h15.0", 400)
+        net.run()
+        u, v = packet.path[1], packet.path[2]
+        net.fail_link(u, v)
+        net.send("h0.0", "h15.0", 400)
+        assert net._plans
+        net.repair_link(u, v)
+        assert not net._plans
+
+    def test_missing_link_raises_same_error(self, net):
+        with pytest.raises(NetworkSimError, match="no link"):
+            compile_plan(net._link_rec, net._hop_rec, ("h0.0", "h15.0"))
+
+
+class TestFlagResolution:
+    def test_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH_DISABLE", "1")
+        topo = T.full_mesh(2, 1)
+        assert Network(topo, ECMPRouter(topo), fastpath=True).fastpath_enabled
+        assert not Network(topo, ECMPRouter(topo)).fastpath_enabled
+
+    def test_env_unset_enables_fastpath(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FASTPATH_DISABLE", raising=False)
+        topo = T.full_mesh(2, 1)
+        assert Network(topo, ECMPRouter(topo)).fastpath_enabled
+
+
+def mixed_rate_topology(rate_in, rate_out):
+    """server a — ULL switch — server b with different link rates."""
+    topo = T.Topology(name="mixed")
+    topo.add_server("a", rack=0)
+    topo.add_server("b", rack=1)
+    topo.add_switch("s", rack=0, switch_model="ULL")
+    topo.add_link("a", "s", rate_in)
+    topo.add_link("s", "b", rate_out)
+    return topo
+
+
+class TestCutThroughMixedRates:
+    """Cut-through timing when ``ser_in != ser_out``.
+
+    The switch starts clocking the packet out before the tail arrives:
+    ``earliest_start`` is *before* the arrival event's ``now`` by
+    ``min(ser_in, ser_out)``.  Expected latencies are hand-computed.
+    """
+
+    @pytest.mark.parametrize(
+        "rate_in,rate_out",
+        [(40 * GBPS, 10 * GBPS), (10 * GBPS, 40 * GBPS)],
+        ids=["slow-out", "slow-in"],
+    )
+    @pytest.mark.parametrize("fastpath", [True, False], ids=["fast", "ref"])
+    def test_single_packet_latency(self, rate_in, rate_out, fastpath):
+        topo = mixed_rate_topology(rate_in, rate_out)
+        net = Network(topo, ECMPRouter(topo), fastpath=fastpath)
+        packet = net.send("a", "b", 400)
+        net.run()
+        ser_in = serialization_delay(400, rate_in)
+        ser_out = serialization_delay(400, rate_out)
+        # Host clocks the packet in (ser_in); the switch overlaps its
+        # output with reception, so only the *excess* of ser_out over
+        # the overlap min(ser_in, ser_out) is paid on the second hop.
+        expected = (
+            ser_in
+            + DEFAULT_PROPAGATION_DELAY
+            - min(ser_in, ser_out)
+            + ULL.latency
+            + ser_out
+            + DEFAULT_PROPAGATION_DELAY
+        )
+        assert packet.latency == pytest.approx(expected, rel=1e-12)
+
+    @pytest.mark.parametrize("fastpath", [True, False], ids=["fast", "ref"])
+    def test_queueing_defeats_cut_through_credit(self, fastpath):
+        # A busy output port pushes the start past the cut-through
+        # earliest_start: start = busy_until, not the credited time.
+        topo = mixed_rate_topology(40 * GBPS, 10 * GBPS)
+        net = Network(topo, ECMPRouter(topo), fastpath=fastpath)
+        first = net.send("a", "b", 1500)
+        second = net.send("a", "b", 1500)
+        net.run()
+        # Second packet leaves the switch one full output serialization
+        # after the first (they share the 10G switch→b port).
+        ser_out = serialization_delay(1500, 10 * GBPS)
+        assert second.latency - first.latency == pytest.approx(ser_out, rel=1e-12)
+
+    def test_fast_and_reference_latencies_bitwise_equal(self):
+        for rate_in, rate_out in [(40 * GBPS, 10 * GBPS), (10 * GBPS, 40 * GBPS)]:
+            topo_f = mixed_rate_topology(rate_in, rate_out)
+            topo_r = mixed_rate_topology(rate_in, rate_out)
+            net_f = Network(topo_f, ECMPRouter(topo_f), fastpath=True)
+            net_r = Network(topo_r, ECMPRouter(topo_r), fastpath=False)
+            for size in (400, 1500, 64):
+                net_f.send("a", "b", size)
+                net_r.send("a", "b", size)
+            net_f.run()
+            net_r.run()
+            assert net_f.stats.samples == net_r.stats.samples  # exact floats

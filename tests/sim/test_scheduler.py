@@ -1,0 +1,162 @@
+"""Pluggable scheduler: the bucket queue must order events exactly
+like the reference heap — same timestamps, same FIFO tie-breaking,
+same behaviour under cancellation — for any operation sequence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import BucketScheduler, Engine, SimulationError
+
+#: Delays spanning the bucket width (1 µs), the full ring (256 µs), and
+#: the overflow heap beyond it, plus exact duplicates from the small pool.
+DELAYS = st.one_of(
+    st.sampled_from([0.0, 1e-9, 5e-7, 1e-6, 3.2e-5, 2.56e-4, 1e-3]),
+    st.floats(min_value=0.0, max_value=5e-4, allow_nan=False),
+)
+
+
+def run_trace(scheduler, ops):
+    """Replay an operation script; return the observed firing order."""
+    engine = Engine(scheduler=scheduler)
+    trace = []
+    handles = []
+
+    def fire(tag):
+        trace.append((engine.now, tag))
+        chain = OPS_CHAIN.get(tag)
+        if chain is not None:
+            # One level of event-from-event scheduling; the ("chain", …)
+            # tag is not in OPS_CHAIN, so chains don't recurse.
+            engine.schedule(chain, fire, ("chain", tag))
+
+    OPS_CHAIN = {}
+    for tag, (delay, cancel_idx, chain_delay) in enumerate(ops):
+        if chain_delay is not None:
+            OPS_CHAIN[tag] = chain_delay
+        handles.append(engine.schedule(delay, fire, tag))
+        if cancel_idx is not None and handles:
+            handles[cancel_idx % len(handles)].cancel()
+    engine.run()
+    return trace
+
+
+OP = st.tuples(
+    DELAYS,
+    st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    st.one_of(st.none(), DELAYS),
+)
+
+
+class TestPopOrderEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(OP, min_size=1, max_size=40))
+    def test_bucket_matches_heap(self, ops):
+        assert run_trace("bucket", ops) == run_trace("heap", ops)
+
+    def test_fifo_among_equal_timestamps(self):
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            order = []
+            for tag in range(20):
+                engine.schedule(1e-6, order.append, tag)
+            engine.run()
+            assert order == list(range(20)), scheduler
+
+    def test_equal_timestamps_across_bucket_boundary(self):
+        # Ties at a bucket edge (exact multiples of the 1 µs width) must
+        # still pop in schedule order.
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            order = []
+            for tag in range(8):
+                engine.schedule(2e-6, order.append, (2, tag))
+                engine.schedule(1e-6, order.append, (1, tag))
+            engine.run()
+            assert order == sorted(order), scheduler
+
+    def test_self_rescheduling_chain(self):
+        # An event that schedules its successor inside the currently
+        # draining bucket exercises the in-window insort path.
+        results = {}
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            times = []
+
+            def tick():
+                times.append(engine.now)
+                if len(times) < 2000:
+                    engine.schedule(3.7e-7, tick)
+
+            engine.schedule(0.0, tick)
+            engine.run()
+            results[scheduler] = times
+        assert results["bucket"] == results["heap"]
+
+    def test_run_until_stops_identically(self):
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            fired = []
+            for tag in range(10):
+                engine.schedule(tag * 1e-5, fired.append, tag)
+            engine.run(until=4.5e-5)
+            assert fired == [0, 1, 2, 3, 4], scheduler
+            assert engine.now == 4.5e-5
+            engine.run()
+            assert fired == list(range(10)), scheduler
+
+
+class TestSelection:
+    def test_env_selects_bucket(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "bucket")
+        assert Engine()._heap is None
+
+    def test_env_selects_heap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        assert Engine()._heap is not None
+
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert Engine()._heap is not None
+
+    def test_calendar_is_alias_for_bucket(self):
+        assert Engine(scheduler="calendar")._heap is None
+
+    def test_instance_accepted(self):
+        engine = Engine(scheduler=BucketScheduler(width=2e-6, nbuckets=64))
+        fired = []
+        engine.schedule(1e-3, fired.append, 1)
+        engine.run()
+        assert fired == [1]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(scheduler="fibonacci")
+
+
+class TestBucketCancellation:
+    def test_cancel_in_far_heap_and_ring(self):
+        engine = Engine(scheduler="bucket")
+        near = engine.schedule(1e-7, lambda: None)
+        ring = engine.schedule(5e-5, lambda: None)
+        far = engine.schedule(1.0, lambda: None)
+        assert engine.pending() == 3
+        assert ring.cancel() is True
+        assert far.cancel() is True
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.events_processed == 1
+        assert not near.cancelled
+
+    def test_mass_cancellation_compacts(self):
+        engine = Engine(scheduler="bucket")
+        keep = engine.schedule(100.0, lambda: None)
+        doomed = [engine.schedule(float(i + 1), lambda: None) for i in range(64)]
+        for event in doomed:
+            event.cancel()
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.now == 100.0
+        assert engine.events_processed == 1
+        assert not keep.cancelled

@@ -160,3 +160,64 @@ class TestPairSources:
             source.start()
         net.run(until=0.001)
         assert all(s.packets_sent > 0 for s in sources)
+
+
+class TestChunkedDraws:
+    """Batched RNG draws are a speed knob only: any chunk size must
+    produce the exact same packet sequence (numpy generators fill
+    batches from the same bit stream as repeated scalar draws, and gap
+    and destination picks use independent streams)."""
+
+    def fingerprint(self, chunk, env=None, monkeypatch=None):
+        if monkeypatch is not None:
+            if env is None:
+                monkeypatch.delenv("REPRO_FASTPATH_DISABLE", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_FASTPATH_DISABLE", env)
+        topo = T.full_mesh(4, 2)
+        net = Network(topo, ECMPRouter(topo))
+        source = PoissonSource(
+            net, "h0.0", ["h1.0", "h2.0", "h3.0"], rate_pps=100_000,
+            seed=11, chunk=chunk,
+        )
+        source.start()
+        net.run(until=0.02)
+        return (
+            source.packets_sent,
+            net.packets_delivered,
+            net.engine.events_processed,
+            tuple(net.stats.samples),
+        )
+
+    def test_chunk_sizes_bit_identical(self):
+        one = self.fingerprint(1)
+        assert self.fingerprint(256) == one
+        assert self.fingerprint(7) == one
+        assert self.fingerprint(1024) == one
+
+    def test_default_chunk_matches_reference_env(self, monkeypatch):
+        batched = self.fingerprint(None, env=None, monkeypatch=monkeypatch)
+        reference = self.fingerprint(None, env="1", monkeypatch=monkeypatch)
+        assert batched == reference
+
+    def test_env_forces_per_packet_draws(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH_DISABLE", "1")
+        topo = T.full_mesh(2, 1)
+        source = PoissonSource(
+            Network(topo, ECMPRouter(topo)), "h0.0", "h1.0", rate_pps=1000
+        )
+        assert source.chunk == 1
+
+    def test_invalid_chunk_rejected(self):
+        topo = T.full_mesh(2, 1)
+        net = Network(topo, ECMPRouter(topo))
+        with pytest.raises(SourceError):
+            PoissonSource(net, "h0.0", "h1.0", rate_pps=1000, chunk=0)
+
+    def test_pair_sources_forward_chunk(self):
+        topo = T.full_mesh(4, 2)
+        net = Network(topo, ECMPRouter(topo))
+        sources = poisson_pair_sources(
+            net, [("h0.0", "h1.0"), ("h2.0", "h3.0")], 100 * MBPS, chunk=17
+        )
+        assert [s.chunk for s in sources] == [17, 17]
