@@ -28,9 +28,10 @@ timeouts) does not grow the queue without bound.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 from bisect import insort
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 #: Index of the callback slot in a queue entry; ``None`` marks an entry
 #: that was cancelled (or already fired) and must not fire (again).
@@ -45,16 +46,27 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """Handle to one scheduled callback; cancel with :meth:`cancel`."""
+    """Handle to one scheduled callback; cancel with :meth:`cancel`.
 
-    __slots__ = ("time", "seq", "cancelled", "_entry", "_engine")
+    ``time`` and ``seq`` read through to the queue entry (its ``(time,
+    seq)`` prefix is never mutated), which keeps the handle three stores
+    cheap on the ``schedule`` hot path.
+    """
+
+    __slots__ = ("cancelled", "_entry", "_engine")
 
     def __init__(self, entry: list, engine: "Engine") -> None:
-        self.time: float = entry[0]
-        self.seq: int = entry[1]
         self.cancelled = False
         self._entry = entry
         self._engine = engine
+
+    @property
+    def time(self) -> float:
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[1]
 
     def cancel(self) -> bool:
         """Prevent the callback from firing (lazy removal from the queue).
@@ -94,11 +106,24 @@ class BucketScheduler:
     ascending.  Entries are the engine's ``[time, seq, callback, args]``
     lists, so lazy cancellation (blanking the callback slot) works
     unchanged.
+
+    Bucket boundaries are exact.  The window base is recomputed from an
+    integer epoch (``base0 + epoch * width``) instead of accumulating
+    ``base += width``, so the boundary of slot ``k`` is the *same float*
+    whether it is evaluated at push time, at migration time, or when the
+    window advances past it.  Raw ``int(rel / width)`` indexing is then
+    corrected against those boundaries: float division can misplace an
+    entry that lands exactly on a bucket edge by one bucket in either
+    direction (e.g. ``123e-6 / 1e-6 == 122.99…``), which reorders pops
+    around equal-time entries — and, at the overflow horizon, can push a
+    far-future entry into the *active* bucket, popping it arbitrarily
+    early.  Both divergences are caught by the hypothesis equivalence
+    suite in ``tests/sim/test_scheduler.py``.
     """
 
     __slots__ = (
-        "width", "nbuckets", "_buckets", "_cur", "_base", "_pos",
-        "_ring_count", "_far", "_len",
+        "width", "nbuckets", "_buckets", "_cur", "_base", "_base0",
+        "_epoch", "_pos", "_ring_count", "_far", "_len",
     )
 
     def __init__(self, width: float = 1e-6, nbuckets: int = 256) -> None:
@@ -110,7 +135,9 @@ class BucketScheduler:
         self.nbuckets = nbuckets
         self._buckets: list[list[list]] = [[] for _ in range(nbuckets)]
         self._cur = 0  # ring index of the active bucket
-        self._base = 0.0  # start time of the active bucket's window
+        self._base0 = 0.0  # window origin; slot k starts at base0 + (epoch+k)*width
+        self._epoch = 0  # how many windows the ring has advanced past base0
+        self._base = 0.0  # cached boundary(0): start of the active window
         self._pos = 0  # drain cursor into the active bucket
         self._ring_count = 0  # entries anywhere in the ring
         self._far: list[list] = []  # heap of entries beyond the window
@@ -119,22 +146,49 @@ class BucketScheduler:
     def __len__(self) -> int:
         return self._len
 
+    def _boundary(self, index: int) -> float:
+        """Exact start time of the bucket ``index`` slots past the active one."""
+        return self._base0 + (self._epoch + index) * self.width
+
+    def _index_for(self, time: float) -> int:
+        """Slot offset whose window truly contains ``time``.
+
+        Returns ``nbuckets`` for anything at or past the overflow
+        horizon.  The raw division is only a guess; within the ring the
+        correction loops walk it to the unique ``k`` with ``boundary(k)
+        <= time < boundary(k+1)`` (at most a step or two — never across
+        the whole ring, and far-future times take the single horizon
+        test instead of walking).  Entries at or before the active
+        window report 0 — the caller keeps those sorted in the active
+        bucket.
+        """
+        nbuckets = self.nbuckets
+        guess = int((time - self._base) / self.width)
+        if guess >= nbuckets:
+            if time >= self._boundary(nbuckets):
+                return nbuckets
+            guess = nbuckets - 1  # division overshot the horizon
+        elif guess < 0:
+            guess = 0
+        while guess > 0 and time < self._boundary(guess):
+            guess -= 1
+        while guess < nbuckets and time >= self._boundary(guess + 1):
+            guess += 1
+        return guess
+
     def push(self, entry: list) -> None:
         """Insert one entry; ``entry[0]`` must be ≥ the last popped time."""
-        rel = entry[0] - self._base
-        width = self.width
-        if rel < width:
+        index = self._index_for(entry[0])
+        if index == 0:
             # Active bucket (or a time at/before its window, which can
             # only be ≥ the last pop): keep it sorted past the cursor.
             insort(self._buckets[self._cur], entry, self._pos)
             self._ring_count += 1
+        elif index < self.nbuckets:
+            self._buckets[(self._cur + index) % self.nbuckets].append(entry)
+            self._ring_count += 1
         else:
-            index = int(rel / width)
-            if index < self.nbuckets:
-                self._buckets[(self._cur + index) % self.nbuckets].append(entry)
-                self._ring_count += 1
-            else:
-                heapq.heappush(self._far, entry)
+            heapq.heappush(self._far, entry)
         self._len += 1
 
     def pop(self) -> list:
@@ -159,30 +213,63 @@ class BucketScheduler:
                 self._advance()
             else:
                 # Ring drained: jump the window straight to the overflow.
-                self._base = self._far[0][0]
+                self._base0 = self._far[0][0]
+                self._epoch = 0
+                self._base = self._base0
                 self._migrate()
+                if not self._ring_count:
+                    # Degenerate window: the base is so large that one
+                    # bucket width rounds away (ulp(base) > width), so
+                    # nothing can migrate.  Drain the overflow head
+                    # directly — pushes after this pop are ≥ its time
+                    # by the scheduler contract, so order holds.
+                    self._buckets[self._cur].append(heapq.heappop(self._far))
+                    self._ring_count += 1
                 self._buckets[self._cur].sort()
             # Loop: the new active bucket may still be empty (sparse ring).
+
+    def peek_time(self) -> float:
+        """Lower bound on the earliest queued entry's time (``inf`` if empty).
+
+        Exact when the active bucket has entries left (it is sorted);
+        otherwise the next window boundary / overflow head, which can
+        only *under*-estimate — safe for lookahead decisions.
+        """
+        bucket = self._buckets[self._cur]
+        if self._pos < len(bucket):
+            return bucket[self._pos][0]
+        if self._ring_count:
+            return self._boundary(1)
+        if self._far:
+            return self._far[0][0]
+        return math.inf
 
     def _advance(self) -> None:
         """Step the window one bucket forward and activate the next bucket."""
         self._cur = (self._cur + 1) % self.nbuckets
-        self._base += self.width
+        self._epoch += 1
+        self._base = self._base0 + self._epoch * self.width
         if self._far:
             self._migrate()
         self._buckets[self._cur].sort()
 
     def _migrate(self) -> None:
-        """Pull overflow entries that now fall inside the window."""
+        """Pull overflow entries that now fall inside the window.
+
+        The stop test is the *corrected* slot index, not a raw
+        ``entry[0] < horizon`` comparison: an entry within one float
+        rounding of the horizon must stay in the overflow heap rather
+        than be wrapped modulo the ring into the active bucket.
+        """
         far = self._far
-        horizon = self._base + self.nbuckets * self.width
-        base, width, cur, nbuckets = self._base, self.width, self._cur, self.nbuckets
         buckets = self._buckets
+        cur, nbuckets = self._cur, self.nbuckets
         heappop = heapq.heappop
-        while far and far[0][0] < horizon:
-            entry = heappop(far)
-            index = int((entry[0] - base) / width)
-            buckets[(cur + index) % nbuckets].append(entry)
+        while far:
+            index = self._index_for(far[0][0])
+            if index >= nbuckets:
+                break
+            buckets[(cur + index) % nbuckets].append(heappop(far))
             self._ring_count += 1
 
     def compact(self) -> None:
@@ -226,13 +313,23 @@ class Engine:
     ``REPRO_SCHEDULER`` environment variable decides.
     """
 
-    __slots__ = ("now", "_heap", "_sched", "_seq", "_n_cancelled", "events_processed")
+    __slots__ = (
+        "now", "_heap", "_sched", "_seq", "_n_cancelled", "events_processed",
+        "run_horizon", "batching_ok",
+    )
 
     def __init__(self, scheduler: "str | BucketScheduler | None" = None) -> None:
         self.now = 0.0
         self._seq = 0
         self._n_cancelled = 0
         self.events_processed = 0
+        #: Horizon of the active :meth:`run` call (``None`` = unbounded);
+        #: only meaningful while ``batching_ok`` is True.
+        self.run_horizon: float | None = None
+        #: True while a run loop without ``max_events`` is dispatching —
+        #: the only state in which cohort batching may commit work ahead
+        #: of the queue (see :meth:`repro.sim.network.Network.send_cohort`).
+        self.batching_ok = False
         self._sched = _make_scheduler(scheduler)
         # The heap scheduler is inlined on the hot paths: ``_heap`` is
         # the live list when it is in use, ``None`` otherwise.
@@ -241,10 +338,22 @@ class Engine:
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> Event:
-        """Run ``callback(*args)`` after ``delay`` seconds of sim time."""
+        """Run ``callback(*args)`` after ``delay`` seconds of sim time.
+
+        Specialized like :meth:`call_at`: the entry is built and pushed
+        inline (no delegation through :meth:`schedule_at`), so the only
+        cost over the fire-and-forget path is the :class:`Event` handle.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        entry = [self.now + delay, self._seq, callback, args]
+        self._seq += 1
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        else:
+            self._sched.push(entry)
+        return Event(entry, self)
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -282,6 +391,67 @@ class Engine:
             self._sched.push([time, self._seq, callback, args])
         self._seq += 1
 
+    def call_at_many(
+        self, items: "Iterable[tuple[float, Callable[..., None], tuple]]"
+    ) -> None:
+        """Bulk :meth:`call_at`: push ``(time, callback, args)`` triples.
+
+        One engine call amortizes the per-event attribute lookups over a
+        whole batch (fault timelines, cohort fallbacks, benchmark warm
+        fills).  Sequence numbers are assigned in iteration order, so
+        equal-time items fire in the order given.
+        """
+        now = self.now
+        heap = self._heap
+        seq = self._seq
+        try:
+            if heap is not None:
+                heappush = heapq.heappush
+                for time, callback, args in items:
+                    if time < now:
+                        raise SimulationError(
+                            f"cannot schedule at {time} before current time {now}"
+                        )
+                    heappush(heap, [time, seq, callback, args])
+                    seq += 1
+            else:
+                push = self._sched.push
+                for time, callback, args in items:
+                    if time < now:
+                        raise SimulationError(
+                            f"cannot schedule at {time} before current time {now}"
+                        )
+                    push([time, seq, callback, args])
+                    seq += 1
+        finally:
+            self._seq = seq
+
+    def peek_time(self) -> float:
+        """Lower bound on the next queued event's time (``inf`` when idle).
+
+        Exact for the heap scheduler up to lazily-cancelled entries (a
+        blanked head can only make the bound *earlier*, never later, so
+        lookahead decisions stay safe).  Duck-typed schedulers without a
+        ``peek_time`` report ``-inf``, which disables batching entirely.
+        """
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else math.inf
+        peek = getattr(self._sched, "peek_time", None)
+        return peek() if peek is not None else -math.inf
+
+    def credit_events(self, n: int) -> None:
+        """Count ``n`` logical events elided by a batched advancement.
+
+        ``events_processed`` reports *logical* simulation events: a
+        cohort committed in one vectorized step credits the per-hop
+        arrivals (and per-packet source fires) the scalar loop would
+        have dispatched through the queue, so the counter — and any
+        events/s rate derived from it — stays comparable across the
+        scalar, fastpath, and batched engines.
+        """
+        self.events_processed += n
+
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events until the queue empties, ``until`` passes, or
         ``max_events`` have fired.
@@ -299,6 +469,10 @@ class Engine:
                 self._run_heap_until(until)
             return
         processed = 0
+        # ``max_events`` counts real queue pops, which batching would
+        # blur — cohort commits stay disabled for bounded-event runs.
+        self.run_horizon = until
+        self.batching_ok = max_events is None
         try:
             while True:
                 entry = self._pop_entry()
@@ -326,6 +500,8 @@ class Engine:
                 processed += 1
         finally:
             self.events_processed += processed
+            self.batching_ok = False
+            self.run_horizon = None
         if until is not None and until > self.now:
             self.now = until
 
@@ -334,6 +510,8 @@ class Engine:
         heap = self._heap
         heappop = heapq.heappop
         processed = 0
+        self.run_horizon = None
+        self.batching_ok = True
         try:
             while True:
                 entry = heappop(heap)
@@ -353,6 +531,7 @@ class Engine:
             pass  # heap drained
         finally:
             self.events_processed += processed
+            self.batching_ok = False
 
     def _run_heap_until(self, until: float) -> None:
         """Drain the heap up to (and including) time ``until``."""
@@ -360,6 +539,8 @@ class Engine:
         heappop = heapq.heappop
         heappush = heapq.heappush
         processed = 0
+        self.run_horizon = until
+        self.batching_ok = True
         try:
             while True:
                 entry = heappop(heap)
@@ -383,6 +564,8 @@ class Engine:
             pass  # heap drained before the horizon
         finally:
             self.events_processed += processed
+            self.batching_ok = False
+            self.run_horizon = None
         if until > self.now:
             self.now = until
 

@@ -108,15 +108,22 @@ class FaultInjector:
     # -- scheduling -----------------------------------------------------------------
 
     def schedule(self, cuts: Iterable[SegmentCut]) -> None:
-        """Register cut (and repair) events with the network's engine."""
-        engine = self.network.engine
+        """Register cut (and repair) events with the network's engine.
+
+        The whole timeline is validated first and then pushed through
+        one :meth:`~repro.sim.engine.Engine.call_at_many` bulk call, in
+        the same order as the per-cut pushes it replaces — equal-time
+        events keep their sequence numbers, so runs are unchanged.
+        """
+        items: list[tuple[float, object, tuple]] = []
         for cut in cuts:
             cut.validate(self.plan)
-            engine.schedule_at(cut.start, self.apply_cut, cut.ring, cut.segment)
+            items.append((cut.start, self.apply_cut, (cut.ring, cut.segment)))
             if cut.repair_at is not None:
-                engine.schedule_at(
-                    cut.repair_at, self.apply_repair, cut.ring, cut.segment
+                items.append(
+                    (cut.repair_at, self.apply_repair, (cut.ring, cut.segment))
                 )
+        self.network.engine.call_at_many(items)
 
     # -- application ----------------------------------------------------------------
 

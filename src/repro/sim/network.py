@@ -23,16 +23,23 @@ saturation in Figure 20).
 
 from __future__ import annotations
 
-import itertools
 import os
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.routing.base import Path, Router
 from repro.sim.engine import Engine
-from repro.sim.fastpath import FASTPATH_ENV, HopPlan, compile_plan
+from repro.sim.fastpath import (
+    BATCH_ENV,
+    FASTPATH_ENV,
+    HopPlan,
+    StackedPlan,
+    compile_plan,
+    stack_plan,
+)
 from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.topology.base import Topology
@@ -86,6 +93,42 @@ class PortState:
     packets_dropped: int = 0
 
 
+def _contended_tails(e: np.ndarray, busy: float, ser: float) -> np.ndarray:
+    """Port tail times when the cohort queues on itself (or a busy port).
+
+    Replays the reference recurrence — ``start = busy; if start <
+    earliest: start = earliest; tail = start + ser`` — packet by packet.
+    The sequential order is load-bearing: a prefix-max reformulation
+    performs the additions in a different association and is *not*
+    IEEE 754 bit-identical to the scalar loop.
+    """
+    out = np.empty_like(e)
+    b = busy
+    for i, earliest in enumerate(e.tolist()):
+        start = earliest if b < earliest else b
+        b = start + ser
+        out[i] = b
+    return out
+
+
+def _repeated_add(base: float, step: float, count: int) -> float:
+    """``base`` after ``count`` sequential ``+= step`` operations.
+
+    Matches the scalar loop's per-packet ``bytes_sent += size`` float
+    accumulation bit for bit.  Integer-valued floats below 2**53 sum
+    exactly, so the common case (whole-byte sizes and counters) is one
+    multiply-add; anything else replays the additions.
+    """
+    base = float(base)
+    step = float(step)
+    total = base + step * count
+    if base.is_integer() and step.is_integer() and abs(total) < 9007199254740992.0:
+        return total
+    for _ in range(count):
+        base += step
+    return base
+
+
 class Network:
     """Executable network: topology + router + event engine."""
 
@@ -99,6 +142,7 @@ class Network:
         host_receive_latency: float = 0.0,
         buffer_bytes: float | None = None,
         fastpath: bool | None = None,
+        batch: bool | None = None,
     ) -> None:
         """``buffer_bytes`` bounds each output port's queue: a packet
         arriving to a port whose backlog would exceed the buffer is
@@ -111,7 +155,17 @@ class Network:
         ``False`` runs the reference per-hop lookup loop.  The default
         (``None``) enables the fast path unless the
         ``REPRO_FASTPATH_DISABLE`` environment variable is set; both
-        loops produce bit-identical results."""
+        loops produce bit-identical results.
+
+        ``batch`` enables cohort batching (:meth:`send_cohort`): whole
+        groups of same-path packets advance through stacked numpy hop
+        plans in a few vectorized operations when the engine's lookahead
+        proves no other event can interleave.  The default (``None``)
+        follows the ``REPRO_BATCH_DISABLE`` environment variable.
+        Batching additionally requires the compiled fast path and
+        unbounded buffers — with either missing, ``batch_enabled`` stays
+        ``False`` and every injection takes the scalar loops.  All three
+        paths (reference, fastpath, batched) are bit-identical."""
         if buffer_bytes is not None and buffer_bytes <= 0:
             raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
         self.topo = topo
@@ -136,7 +190,11 @@ class Network:
         self._removed_edges: dict[tuple[str, str], dict] = {}
         self._in_flight: dict[tuple[str, str], set[Packet]] = {}
         self._detour_cache: dict[tuple[str, str], Path | None] = {}
-        self._packet_ids = itertools.count()
+        self._next_packet_id = 0
+        # Bumped by fail_link/repair_link: anything caching routes
+        # against the live topology (e.g. transport flows) revalidates
+        # when the epoch moves.
+        self._fault_epoch = 0
         self._ports: dict[tuple[str, str], PortState] = {}
         self._capacity: dict[tuple[str, str], float] = {}
         # Per-directed-link record on the forwarding hot path:
@@ -166,6 +224,22 @@ class Network:
         # Compiled forwarding plans, one per unique path; cleared by
         # fail_link/repair_link so fault churn cannot grow a stale cache.
         self._plans: dict[Path, HopPlan] = {}
+        if batch is None:
+            batch = os.environ.get(BATCH_ENV, "0") in ("", "0")
+        #: Whether cohort injections may commit vectorized (read-only
+        #: after init).  Requires the fast path (the stacked plans are
+        #: compiled from HopPlans) and unbounded buffers (the backlog
+        #: check reads ``engine.now`` mid-flight, which batching elides).
+        self.batch_enabled = (
+            bool(batch) and self.fastpath_enabled and buffer_bytes is None
+        )
+        # Stacked (vectorized) twins of ``_plans``, same invalidation.
+        self._stacked: dict[Path, StackedPlan] = {}
+
+    @property
+    def fault_epoch(self) -> int:
+        """Counts fail/repair events; route caches key their validity on it."""
+        return self._fault_epoch
 
     # -- injection ------------------------------------------------------------------
 
@@ -191,8 +265,10 @@ class Network:
             raise NetworkSimError(f"path {route} does not join {src!r} → {dst!r}")
         if type(route) is not tuple:
             route = tuple(route)
+        packet_id = self._next_packet_id
+        self._next_packet_id = packet_id + 1
         packet = Packet(
-            packet_id=next(self._packet_ids),
+            packet_id=packet_id,
             src=src,
             dst=dst,
             size_bytes=size_bytes,
@@ -222,6 +298,147 @@ class Network:
         self.packets_dropped_fault += 1
         if self._track_in_flight:
             self.fault_stats.record_drop(group, self.engine.now)
+
+    # -- batched flight engine ---------------------------------------------------------
+
+    def send_cohort(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        times: Sequence[float],
+        flow_id: int = 0,
+        group: str | None = None,
+    ) -> int:
+        """Inject a cohort of same-size packets at the given times, batched.
+
+        The cohort shares one route (the router's pick for ``flow_id`` —
+        all routers here are deterministic and memoized, so one call
+        equals the per-packet calls the scalar loop makes).  The whole
+        flight — every transmit and arrival on every hop — is computed
+        up front over the path's :class:`~repro.sim.fastpath.StackedPlan`
+        with vectorized operations, then the longest *safe* prefix is
+        committed in one step:
+
+        * safe means every elided event time is strictly earlier than
+          the engine's next queued event (``peek_time``) and inside the
+          active run horizon, so no other callback could have observed
+          or perturbed the elided state in the scalar schedule;
+        * per-path FIFO monotonicity makes the per-packet sequential
+          order a valid topological order of the scalar event DAG, so
+          the committed floats are bit-identical to the scalar loops;
+        * queue contention (a packet catching up with its predecessor's
+          tail) is resolved per port over the sorted arrival times: a
+          contention-free port takes one elementwise add, a contended
+          span replays the reference ``max``/add recurrence in scalar
+          order, which elementwise IEEE 754 cannot reassociate.
+
+        Returns the number of packets committed; ``0`` means the caller
+        must fall back to scalar :meth:`send` (conditions that demand
+        the scalar loops: batching disabled, fault tracking armed, dead
+        links present, no safe prefix).  Packets beyond the committed
+        prefix are *not* sent.  The engine's logical event counter is
+        credited with the elided per-hop arrivals.
+        """
+        engine = self.engine
+        if (
+            not self.batch_enabled
+            or not engine.batching_ok
+            or self._dead_links
+            or self._track_in_flight
+        ):
+            return 0
+        if size_bytes <= 0:
+            raise NetworkSimError(f"packet size must be positive, got {size_bytes}")
+        if not len(times):
+            raise NetworkSimError("cohort needs at least one injection time")
+        t = np.asarray(times, dtype=float)
+        if t[0] < engine.now or (t.size > 1 and bool(np.any(np.diff(t) < 0.0))):
+            raise NetworkSimError(
+                "cohort times must be nondecreasing and not in the past"
+            )
+        route = self.router.route(src, dst, flow_id)
+        if route[0] != src or route[-1] != dst:
+            raise NetworkSimError(f"path {route} does not join {src!r} → {dst!r}")
+        if type(route) is not tuple:
+            route = tuple(route)
+        stacked = self._stacked.get(route)
+        if stacked is None:
+            plan = self._plans.get(route) or self._compile_plan(route)
+            stacked = self._stacked[route] = stack_plan(plan)
+
+        peek = engine.peek_time()
+        horizon = engine.run_horizon
+        ser_s, latf_s, ser_f, latf_f = stacked.for_size(size_bytes)
+        lat = stacked.lat
+        ports = stacked.ports
+        prop = self.propagation_delay
+        nhops = stacked.nhops
+
+        # Cheap scalar probe: packet 0's flight (the same operations the
+        # vector pass performs) lower-bounds every packet's event
+        # ceiling, so a cohort that cannot commit even its first packet
+        # bails before any array work.
+        arrival = float(t[0])
+        probe_max = arrival
+        for h in range(nhops):
+            earliest = (arrival + latf_f[h]) + lat[h] if h else arrival
+            busy = ports[h].busy_until
+            start = earliest if busy < earliest else busy
+            arrival = (start + ser_f[h]) + prop
+            if arrival > probe_max:
+                probe_max = arrival
+        if probe_max >= peek or (horizon is not None and probe_max > horizon):
+            return 0
+
+        tails_per_hop: list[np.ndarray] = []
+        arrivals = t  # placeholder; replaced by hop 0's arrivals below
+        event_max: np.ndarray | None = None
+        for h in range(nhops):
+            if h:
+                # Two adds, in the scalar loop's order:
+                # earliest = (now + size * latf[h]) + lat[h].
+                e = (arrivals + latf_s[h]) + lat[h]
+            else:
+                e = t  # injection: earliest_start is the send time itself
+            ser = ser_s[h]
+            busy = ports[h].busy_until
+            tails = e + ser
+            if e[0] < busy or (
+                e.size > 1 and bool(np.any(e[1:] < tails[:-1]))
+            ):
+                tails = _contended_tails(e, busy, float(ser))
+            arrivals = tails + prop
+            tails_per_hop.append(tails)
+            if event_max is None:
+                event_max = arrivals
+            else:
+                event_max = np.maximum(event_max, arrivals)
+
+        # Longest prefix whose every elided event fits the lookahead
+        # window; ``event_max`` is nondecreasing (FIFO monotonicity), so
+        # the cutoffs are binary searches.
+        m = int(np.searchsorted(event_max, peek, side="left"))
+        if horizon is not None:
+            within = int(np.searchsorted(event_max, horizon, side="right"))
+            if within < m:
+                m = within
+        if m <= 0:
+            return 0
+
+        self._next_packet_id += m
+        for h in range(nhops):
+            port = ports[h]
+            tails = tails_per_hop[h]
+            port.busy_until = float(tails[m - 1])
+            port.packets_sent += m
+            port.bytes_sent = _repeated_add(port.bytes_sent, size_bytes, m)
+        delivered = arrivals[:m] + self.host_receive_latency
+        latencies = delivered - t[:m]
+        self.stats.record_many(latencies.tolist(), group)
+        self.packets_delivered += m
+        engine.credit_events(m * nhops)
+        return m
 
     # -- forwarding ----------------------------------------------------------------
 
@@ -420,6 +637,8 @@ class Network:
         self.packets_dropped += dropped
         self._detour_cache.clear()
         self._plans.clear()
+        self._stacked.clear()
+        self._fault_epoch += 1
         self.router.invalidate_links([(u, v)])
         self.fault_stats.log(
             now, "link_down", link=(u, v), detail=f"dropped {dropped} in flight"
@@ -443,6 +662,8 @@ class Network:
         self._dead_links.discard((v, u))
         self._detour_cache.clear()
         self._plans.clear()
+        self._stacked.clear()
+        self._fault_epoch += 1
         self.router.invalidate_links([(u, v)], repaired=True)
         self.fault_stats.log(self.engine.now, "link_up", link=(u, v))
         return True

@@ -41,6 +41,16 @@ DEFAULT_PACKET_BYTES = 400
 #: Poisson pre-draw batch size (packets per RNG call).
 DEFAULT_CHUNK = 256
 
+#: Smallest cohort worth the vectorized path; below this the scalar
+#: fire is faster than the array setup (results are identical either way).
+MIN_COHORT = 8
+
+#: Scalar fires between cohort retries after a failed commit: when the
+#: event queue is too busy for batching, probing every fire would cost
+#: more than it saves.  Purely a performance knob — attempts never
+#: change results.
+COHORT_RETRY_BACKOFF = 32
+
 #: Non-negative 64-bit seed material for numpy's SeedSequence.
 _SEED_MASK = (1 << 64) - 1
 
@@ -116,6 +126,7 @@ class PoissonSource:
         else:
             self._dst_rng = None
         self._running = False
+        self._cohort_skip = 0
 
     @classmethod
     def at_bandwidth(
@@ -165,12 +176,24 @@ class PoissonSource:
         return self._dsts[picks[i]]
 
     def _fire(self) -> None:
+        engine = self.network.engine
         if not self._running:
             return
-        now = self.network.engine.now
+        now = engine.now
         if self.stop_at is not None and now >= self.stop_at:
             self._running = False
             return
+        if (
+            self._dst_rng is None
+            and self.on_delivered is None
+            and not self.vary_flow_per_packet
+            and self.network.batch_enabled
+            and engine.batching_ok
+        ):
+            if self._cohort_skip:
+                self._cohort_skip -= 1
+            elif self._fire_cohort(engine, now):
+                return
         dst = self._dsts[0] if self._dst_rng is None else self._next_dst()
         flow = self.flow_id
         if self.vary_flow_per_packet:
@@ -185,8 +208,59 @@ class PoissonSource:
             # pair unreachable; the offered packet is lost, not fatal.
             self.network.note_unroutable(self.group)
         self.packets_sent += 1
-        engine = self.network.engine
         engine.call_at(engine.now + self._next_gap(), self._fire)
+
+    def _fire_cohort(self, engine, now: float) -> bool:
+        """Try to inject a whole cohort of pre-drawn packets at once.
+
+        Candidate injection times extend ``now`` by the gaps already
+        pre-drawn for this chunk, accumulated with the same sequential
+        float additions the per-packet fires would perform (the chain
+        ``t += gap`` is order-sensitive, so it is *not* vectorized).
+        :meth:`Network.send_cohort` commits the longest event-safe
+        prefix; on any commit the gap cursor, packet counter, and the
+        engine's logical event count advance exactly as the per-packet
+        fires would have left them, and the next fire is scheduled from
+        the last committed injection.  Returns ``False`` to make the
+        caller fall back to the scalar single-packet fire.
+        """
+        gaps = self._gaps
+        i = self._gap_i
+        n = len(gaps)
+        if i >= n:
+            return False  # chunk exhausted: the scalar fire refills it
+        # Candidate times are capped by everything that bounds a commit
+        # anyway — the next queued event (strict), the run horizon, and
+        # ``stop_at`` — so a busy queue costs a short list, not a chunk.
+        peek = engine.peek_time()
+        horizon = engine.run_horizon
+        stop_at = self.stop_at
+        cap = peek if stop_at is None or peek <= stop_at else stop_at
+        times = [now]
+        t = now
+        for k in range(i, n):
+            t = t + gaps[k]
+            if t >= cap or (horizon is not None and t > horizon):
+                break
+            times.append(t)
+        if len(times) < MIN_COHORT:
+            self._cohort_skip = COHORT_RETRY_BACKOFF
+            return False
+        try:
+            m = self.network.send_cohort(
+                self.src, self._dsts[0], self.size_bytes, times,
+                flow_id=self.flow_id, group=self.group,
+            )
+        except RoutingError:
+            return False  # scalar fire counts the unroutable packet
+        if m == 0:
+            self._cohort_skip = COHORT_RETRY_BACKOFF
+            return False
+        self.packets_sent += m
+        self._gap_i = i + (m - 1)
+        engine.credit_events(m - 1)  # the elided per-packet fire events
+        engine.call_at(times[m - 1] + self._next_gap(), self._fire)
+        return True
 
 
 class BurstSource:

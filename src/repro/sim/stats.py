@@ -69,6 +69,20 @@ class LatencyRecorder:
         if group is not None:
             self.by_group.setdefault(group, []).append(latency)
 
+    def record_many(self, latencies: list[float], group: str | None = None) -> None:
+        """Bulk :meth:`record`: append many samples, preserving order.
+
+        One validation pass and two list extends, so a batched cohort
+        commit records its deliveries without a per-packet call.  The
+        resulting ``samples`` / ``by_group`` contents are exactly what
+        per-packet :meth:`record` calls in the same order would leave.
+        """
+        if latencies and min(latencies) < 0:
+            raise ValueError(f"negative latency {min(latencies)}")
+        self.samples.extend(latencies)
+        if group is not None:
+            self.by_group.setdefault(group, []).extend(latencies)
+
     @property
     def count(self) -> int:
         return len(self.samples)

@@ -74,6 +74,13 @@ class TCPFlow:
     _pacing_gate: float = field(init=False, default=0.0)
     _pacing_wake: Event | None = field(init=False, default=None)
     _in_recovery_until: int = field(init=False, default=0)
+    # Cached routes for the data and ACK directions, revalidated against
+    # the network's fault epoch: route() is deterministic per epoch, so
+    # passing the cached path skips the router dispatch on every segment
+    # and every ACK without changing a single event.
+    _fwd_path: tuple | None = field(init=False, default=None, repr=False)
+    _rev_path: tuple | None = field(init=False, default=None, repr=False)
+    _path_epoch: int = field(init=False, default=-1)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -148,17 +155,30 @@ class TCPFlow:
         self._pacing_wake = None
         self._fill_window()
 
+    def _refresh_paths(self) -> None:
+        """(Re)resolve both directions' routes for the current fault epoch."""
+        network = self.network
+        epoch = network.fault_epoch
+        if self._path_epoch != epoch:
+            self._fwd_path = network.router.route(self.src, self.dst, self.flow_id)
+            self._rev_path = network.router.route(
+                self.dst, self.src, self.flow_id + 1_000_000
+            )
+            self._path_epoch = epoch
+
     def _send_segment(self, seq: int) -> None:
         if self.pacing_rate_bps is not None:
             now = self.network.engine.now
             gap = self.mss * BITS_PER_BYTE / self.pacing_rate_bps
             self._pacing_gate = max(self._pacing_gate, now) + gap
+        self._refresh_paths()
         self.network.send(
             self.src,
             self.dst,
             self.mss,
             flow_id=self.flow_id,
             group=self.group,
+            path=self._fwd_path,
             on_delivered=partial(self._data_arrived, seq),
         )
 
@@ -171,11 +191,13 @@ class TCPFlow:
             self._received.discard(self._rcv_next)
             self._rcv_next += 1
         ack = self._rcv_next
+        self._refresh_paths()
         self.network.send(
             self.dst,
             self.src,
             ACK_BYTES,
             flow_id=self.flow_id + 1_000_000,
+            path=self._rev_path,
             on_delivered=partial(self._ack_arrived, ack),
         )
 

@@ -1,0 +1,339 @@
+"""Batched flight engine: bit-identical to the scalar loops.
+
+The batched path (:meth:`Network.send_cohort` driven by the
+cohort-aware :class:`PoissonSource`) must be a pure speed change, like
+the compiled fast path before it: every externally visible number —
+per-packet latencies, drop/reroute counters, port state, the logical
+event count — must match both the scalar fast path and the reference
+loop exactly.  The equivalence fingerprint here extends
+``tests/sim/test_fastpath.py``'s to cohorts: mid-run fault churn must
+truncate cohorts at the cut boundary, ``run(until=...)`` must leave the
+same packets in flight, and ``stop_at`` must stop the stream on the
+same packet.
+"""
+
+import pytest
+
+import repro.topology as T
+from repro.routing import ECMPRouter
+from repro.sim import Network, NetworkSimError
+from repro.sim.fastpath import BATCH_ENV
+from repro.sim.network import _contended_tails, _repeated_add
+from repro.sim.sources import MIN_COHORT, PoissonSource
+
+import numpy as np
+
+MODES = ("batched", "fastpath", "reference")
+
+
+def build(mode, buffer_bytes=None):
+    """A three-tier network in one of the three forwarding modes."""
+    topo = T.three_tier_tree()
+    fastpath = mode != "reference"
+    return Network(
+        topo,
+        ECMPRouter(topo),
+        fastpath=fastpath,
+        batch=(mode == "batched"),
+        buffer_bytes=buffer_bytes,
+    )
+
+
+def port_state(net):
+    """Every port counter, in deterministic key order — exact floats."""
+    return tuple(
+        (key, port.packets_sent, port.bytes_sent, port.busy_until)
+        for key, port in sorted(net._ports.items())
+    )
+
+
+def fingerprint(net, sources):
+    return (
+        net.packets_delivered,
+        net.packets_dropped,
+        net.packets_dropped_fault,
+        net.packets_rerouted,
+        net._next_packet_id,
+        net.engine.events_processed,
+        tuple(net.stats.samples),
+        tuple(source.packets_sent for source in sources),
+        port_state(net),
+    )
+
+
+def run_workload(
+    mode,
+    nsrc=6,
+    rate=600_000.0,
+    until=0.012,
+    fault=None,
+    stop_at=None,
+    interrupters=(),
+):
+    """Fixed workload; returns (fingerprint, net, sources).
+
+    ``fault="lazy"`` schedules a cut+repair without pre-arming in-flight
+    tracking, so batching stays live right up to the cut and cohorts
+    must truncate against the queued fault events.  ``fault="armed"``
+    pre-arms tracking like the fastpath suite (batching then stands down
+    for the whole run and must still agree).  ``interrupters`` schedules
+    no-op events at the given times — each one is a lookahead wall a
+    cohort must not cross.
+    """
+    net = build(mode)
+    engine = net.engine
+    servers = net.topo.servers()
+    sources = [
+        PoissonSource(
+            net, servers[i], servers[-1], rate_pps=rate, seed=i, flow_id=i,
+            group="load", stop_at=stop_at,
+            # Pinned (not None) so the suite behaves the same under
+            # REPRO_FASTPATH_DISABLE=1, which flips the chunk default.
+            chunk=1 if mode == "reference" else 256,
+        )
+        for i in range(nsrc)
+    ]
+    for source in sources:
+        source.start()
+    if fault is not None:
+        probe = net.router.route(servers[0], servers[-1], 0)
+        u, v = probe[1], probe[2]
+        if fault == "armed":
+            net.enable_fault_tracking()
+        engine.schedule(0.004, lambda: net.fail_link(u, v))
+        engine.schedule(0.008, lambda: net.repair_link(u, v))
+    for when in interrupters:
+        engine.schedule_at(when, lambda: None)
+    engine.run(until=until)
+    return fingerprint(net, sources), net, sources
+
+
+class TestEquivalence:
+    def test_multi_source_bit_identical(self):
+        batched, _, _ = run_workload("batched")
+        fast, _, _ = run_workload("fastpath")
+        ref, _, _ = run_workload("reference")
+        assert batched == fast == ref
+
+    def test_single_source_full_cohorts_bit_identical(self):
+        # One source and an otherwise empty queue: the lookahead window
+        # is unbounded, cohorts commit whole chunks at a time.
+        batched, net, _ = run_workload("batched", nsrc=1)
+        fast, _, _ = run_workload("fastpath", nsrc=1)
+        assert batched == fast
+        assert net._stacked, "cohort commits should have stacked the plan"
+
+    def test_contended_port_cohorts_bit_identical(self):
+        # 2 Mpps of 400 B ≈ 6.4 Gb/s against 10 G links: cohorts queue
+        # on their own ports, so the sequential contended-span replay
+        # must agree with the scalar recurrence.
+        batched, _, _ = run_workload("batched", nsrc=1, rate=2_000_000.0)
+        fast, _, _ = run_workload("fastpath", nsrc=1, rate=2_000_000.0)
+        ref, _, _ = run_workload("reference", nsrc=1, rate=2_000_000.0)
+        assert batched == fast == ref
+
+    def test_lazy_fault_churn_bit_identical(self):
+        # Batching is live until the first cut arms tracking: cohorts
+        # near t=4ms must truncate against the queued fail_link event,
+        # and the post-repair stream must match the scalar loops.
+        batched, _, _ = run_workload("batched", fault="lazy")
+        fast, _, _ = run_workload("fastpath", fault="lazy")
+        ref, _, _ = run_workload("reference", fault="lazy")
+        assert batched == fast == ref
+
+    def test_armed_fault_tracking_bit_identical(self):
+        batched, _, _ = run_workload("batched", fault="armed")
+        fast, _, _ = run_workload("fastpath", fault="armed")
+        assert batched == fast
+
+    def test_interrupters_force_prefix_commits(self):
+        # A wall of no-op events slices through the single-source
+        # stream: every cohort must commit exactly the prefix whose
+        # elided events stay strictly before the next wall.
+        walls = tuple(0.0005 * k for k in range(1, 20))
+        batched, _, _ = run_workload("batched", nsrc=1, interrupters=walls)
+        fast, _, _ = run_workload("fastpath", nsrc=1, interrupters=walls)
+        assert batched == fast
+
+    def test_stop_at_bit_identical(self):
+        batched, _, _ = run_workload("batched", nsrc=1, stop_at=0.006)
+        fast, _, _ = run_workload("fastpath", nsrc=1, stop_at=0.006)
+        ref, _, _ = run_workload("reference", nsrc=1, stop_at=0.006)
+        assert batched == fast == ref
+
+    def test_horizon_leaves_same_packets_in_flight(self):
+        # Stop mid-flight: cohorts whose tails cross the horizon must
+        # fall back to real events, so the counts agree at the horizon
+        # *and* after resuming to exhaustion.
+        results = {}
+        for mode in MODES:
+            fp, net, sources = run_workload(mode, nsrc=2, until=0.003)
+            for source in sources:
+                source.stop()
+            resumed_at = fp
+            net.engine.run()
+            results[mode] = (resumed_at, fingerprint(net, sources))
+        assert results["batched"] == results["fastpath"] == results["reference"]
+
+
+class TestFlagResolution:
+    # fastpath=True is pinned so the assertions hold even when the
+    # whole suite runs under REPRO_FASTPATH_DISABLE=1.
+    def test_env_disables_batching(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "1")
+        topo = T.full_mesh(2, 1)
+        assert not Network(topo, ECMPRouter(topo), fastpath=True).batch_enabled
+
+    def test_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "1")
+        topo = T.full_mesh(2, 1)
+        net = Network(topo, ECMPRouter(topo), fastpath=True, batch=True)
+        assert net.batch_enabled
+
+    def test_env_unset_enables_batching(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        topo = T.full_mesh(2, 1)
+        assert Network(topo, ECMPRouter(topo), fastpath=True).batch_enabled
+
+    def test_batching_requires_fastpath(self):
+        topo = T.full_mesh(2, 1)
+        assert not Network(topo, ECMPRouter(topo), fastpath=False, batch=True).batch_enabled
+
+    def test_bounded_buffers_disable_batching(self):
+        topo = T.full_mesh(2, 1)
+        net = Network(
+            topo, ECMPRouter(topo), fastpath=True, batch=True, buffer_bytes=9000
+        )
+        assert not net.batch_enabled
+        # ... and the run still agrees with the scalar loops trivially.
+        fast = run_buffered(batch=True)
+        ref = run_buffered(batch=False)
+        assert fast == ref
+
+
+def run_buffered(batch):
+    net = build("batched" if batch else "fastpath", buffer_bytes=1600)
+    servers = net.topo.servers()
+    sources = [
+        PoissonSource(net, servers[i], servers[-1], rate_pps=600_000.0,
+                      seed=i, flow_id=i, group="load")
+        for i in range(6)
+    ]
+    for source in sources:
+        source.start()
+    net.engine.run(until=0.012)
+    return fingerprint(net, sources)
+
+
+class TestSendCohortAPI:
+    @pytest.fixture
+    def net(self):
+        topo = T.three_tier_tree()
+        return Network(topo, ECMPRouter(topo), fastpath=True, batch=True)
+
+    def test_returns_zero_outside_run(self, net):
+        # batching_ok is only True while a run loop dispatches.
+        assert net.send_cohort("h0.0", "h15.0", 400, [0.0, 1e-6]) == 0
+
+    def test_commits_inside_run_and_elides_events(self, net):
+        committed = {}
+
+        def inject():
+            committed["m"] = net.send_cohort(
+                "h0.0", "h15.0", 400, [net.engine.now, net.engine.now + 1e-6]
+            )
+
+        net.engine.schedule(0.0, inject)
+        net.engine.run()
+        assert committed["m"] == 2
+        assert net.packets_delivered == 2
+        assert net._next_packet_id == 2
+        # 1 real event + 2 packets × hops elided arrivals.
+        hops = len(net.router.route("h0.0", "h15.0", 0)) - 1
+        assert net.engine.events_processed == 1 + 2 * hops
+
+    def test_prefix_commit_against_queued_event(self, net):
+        # A queued event right behind the first packet's delivery forces
+        # a prefix: the second packet must not be sent.
+        result = {}
+
+        def inject():
+            result["m"] = net.send_cohort(
+                "h0.0", "h15.0", 400,
+                [net.engine.now, net.engine.now + 2e-3],
+            )
+
+        net.engine.schedule(0.0, inject)
+        net.engine.schedule(1e-3, lambda: None)  # wall between the two
+        net.engine.run()
+        assert result["m"] == 1
+        assert net.packets_delivered == 1
+
+    def test_returns_zero_with_dead_links(self, net):
+        probe = net.router.route("h0.0", "h15.0", 0)
+        net.fail_link(probe[1], probe[2])
+        seen = {}
+        net.engine.schedule(0.0, lambda: seen.setdefault(
+            "m", net.send_cohort("h0.0", "h15.0", 400, [net.engine.now])
+        ))
+        net.engine.run()
+        assert seen["m"] == 0
+
+    def test_rejects_bad_times(self, net):
+        def inject():
+            with pytest.raises(NetworkSimError):
+                net.send_cohort("h0.0", "h15.0", 400, [])
+            with pytest.raises(NetworkSimError):
+                net.send_cohort("h0.0", "h15.0", 400, [1e-3, 0.5e-3])
+            with pytest.raises(NetworkSimError):
+                net.send_cohort("h0.0", "h15.0", 400, [net.engine.now - 1.0])
+            with pytest.raises(NetworkSimError):
+                net.send_cohort("h0.0", "h15.0", 0, [net.engine.now])
+
+        net.engine.schedule(0.0, inject)
+        net.engine.run()
+
+
+class TestContendedReplay:
+    def test_matches_reference_recurrence(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            e = np.sort(rng.uniform(0.0, 1e-5, size=rng.integers(1, 40)))
+            busy = float(rng.uniform(0.0, 1.2e-5))
+            ser = float(rng.uniform(1e-8, 1e-6))
+            tails = _contended_tails(e, busy, ser)
+            b = busy
+            for i, earliest in enumerate(e.tolist()):
+                start = earliest if b < earliest else b
+                b = start + ser
+                assert tails[i] == b  # exact float equality
+
+    def test_repeated_add_exact(self):
+        # Integer shortcut and float replay must both equal the chain.
+        for base, step, count in [(0.0, 400.0, 257), (1.5e-7, 0.3, 100), (12.0, 64, 9)]:
+            chain = float(base)
+            for _ in range(count):
+                chain += step
+            assert _repeated_add(base, step, count) == chain
+
+
+class TestCohortSourceAccounting:
+    def test_gap_stream_consumption_matches_scalar(self):
+        # The same seed must produce the same injection times whether
+        # gaps are consumed one per fire or a cohort at a time.
+        times = {}
+        for mode in ("batched", "fastpath"):
+            net = build(mode)
+            servers = net.topo.servers()
+            source = PoissonSource(
+                net, servers[0], servers[-1], rate_pps=500_000.0, seed=3,
+                chunk=256,
+            )
+            source.start()
+            net.engine.run(until=0.002)
+            times[mode] = (source.packets_sent, source._gap_i, tuple(net.stats.samples))
+        assert times["batched"][0] == times["fastpath"][0]
+        assert times["batched"][2] == times["fastpath"][2]
+
+    def test_min_cohort_floor_is_positive(self):
+        assert MIN_COHORT >= 1

@@ -229,3 +229,108 @@ class TestDeterministicOrdering:
         engine.call_at(5.0, fired.append, "fourth")
         engine.run()
         assert fired == ["first", "second", "third", "fourth"]
+
+
+class TestCallAtMany:
+    def test_bulk_matches_individual_pushes(self):
+        bulk = Engine()
+        single = Engine()
+        fired_bulk, fired_single = [], []
+        items = [(0.3, fired_bulk.append, ("a",)), (0.1, fired_bulk.append, ("b",)),
+                 (0.2, fired_bulk.append, ("c",))]
+        bulk.call_at_many(items)
+        for when, _cb, args in items:
+            single.call_at(when, fired_single.append, *args)
+        bulk.run()
+        single.run()
+        assert fired_bulk == fired_single == ["b", "c", "a"]
+        assert bulk.events_processed == single.events_processed
+
+    def test_equal_times_keep_submission_order(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(1.0, fired.append, "before")
+        engine.call_at_many(
+            [(1.0, fired.append, ("x",)), (1.0, fired.append, ("y",))]
+        )
+        engine.call_at(1.0, fired.append, "after")
+        engine.run()
+        assert fired == ["before", "x", "y", "after"]
+
+    def test_bucket_scheduler_bulk(self):
+        engine = Engine(scheduler="bucket")
+        fired = []
+        engine.call_at_many(
+            [(2e-6, fired.append, ("b",)), (1e-6, fired.append, ("a",)),
+             (3e-6, fired.append, ("c",))]
+        )
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_past_time_rejected_and_sequence_stays_consistent(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at_many([(6.0, lambda: None, ()), (1.0, lambda: None, ())])
+        # Sequence numbers consumed by the failed bulk push must not
+        # reorder later same-time events.
+        fired = []
+        engine.call_at(6.0, fired.append, "first")
+        engine.call_at(6.0, fired.append, "second")
+        engine.run()
+        assert fired == ["first", "second"]
+
+
+class TestPeekTime:
+    def test_empty_queue_is_infinite(self):
+        assert Engine().peek_time() == float("inf")
+
+    def test_reports_head_time(self):
+        engine = Engine()
+        engine.schedule(2.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        assert engine.peek_time() == 1.0
+
+    def test_bucket_scheduler_lower_bound(self):
+        engine = Engine(scheduler="bucket")
+        engine.schedule(3e-6, lambda: None)
+        assert engine.peek_time() <= 3e-6
+
+    def test_updates_inside_run(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.peek_time()))
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert seen == [2.0]
+
+
+class TestCreditEvents:
+    def test_counts_logical_events(self):
+        engine = Engine()
+        engine.credit_events(5)
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 7
+
+    def test_batching_ok_only_inside_unbounded_or_until_runs(self):
+        engine = Engine()
+        assert not engine.batching_ok
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.batching_ok))
+        engine.run(until=2.0)
+        assert seen == [True]
+        assert not engine.batching_ok
+        engine.schedule(3.0, lambda: seen.append(engine.batching_ok))
+        engine.run(max_events=1)
+        assert seen == [True, False]
+
+    def test_run_horizon_visible_during_until_run(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.run_horizon))
+        engine.run(until=4.0)
+        assert seen == [4.0]
+        assert engine.run_horizon is None

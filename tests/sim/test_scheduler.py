@@ -160,3 +160,82 @@ class TestBucketCancellation:
         assert engine.now == 100.0
         assert engine.events_processed == 1
         assert not keep.cancelled
+
+
+#: Delays landing exactly on bucket boundaries: integer multiples of the
+#: 1 µs width, spanning the ring (256 µs) and the overflow heap past it.
+EDGE_DELAYS = st.builds(lambda k: k * 1e-6, st.integers(min_value=0, max_value=600))
+
+EDGE_OP = st.tuples(
+    EDGE_DELAYS,
+    st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    st.one_of(st.none(), st.sampled_from([0.0, 3.7e-7, 1e-6, 2.56e-4])),
+)
+
+
+class TestWindowBoundaries:
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(EDGE_OP, min_size=1, max_size=40))
+    def test_exact_bucket_edge_pushes_match_heap(self, ops):
+        # Every push lands on a window boundary — the worst case for
+        # float bucket indexing, where an ulp of drift flips the slot.
+        assert run_trace("bucket", ops) == run_trace("heap", ops)
+
+    def test_boundary_pushes_while_window_advances(self):
+        # A chain stepping in whole-bucket strides keeps scheduling onto
+        # the edge of the freshly advanced window; boundaries must stay
+        # the same float no matter how many windows have rolled past.
+        for stride_buckets in (1, 3, 255, 256, 257):
+            results = {}
+            for scheduler in ("heap", "bucket"):
+                engine = Engine(scheduler=scheduler)
+                times = []
+
+                def tick():
+                    times.append(engine.now)
+                    if len(times) < 800:
+                        engine.schedule(stride_buckets * 1e-6, tick)
+
+                engine.schedule(0.0, tick)
+                engine.run()
+                results[scheduler] = times
+            assert results["bucket"] == results["heap"], stride_buckets
+
+    def test_migrate_keeps_cancelled_overflow_entries_dead(self):
+        # Entries cancelled while parked in the overflow heap must stay
+        # cancelled when _migrate pulls their window into the ring.
+        engine = Engine(scheduler="bucket")
+        fired = []
+        near = engine.schedule(1e-6, fired.append, "near")
+        far = [
+            engine.schedule(5e-4 + i * 1e-6, fired.append, i) for i in range(8)
+        ]
+        for handle in far[::2]:
+            handle.cancel()
+        engine.run()
+        assert fired == ["near", 1, 3, 5, 7]
+        assert engine.events_processed == 5
+        assert near.cancel() is False  # already fired
+
+    def test_jump_to_far_head_skips_cancelled_head(self):
+        # With an empty ring, pop re-bases the window on the overflow
+        # head; a cancelled head must not leave a live event behind.
+        engine = Engine(scheduler="bucket")
+        fired = []
+        doomed = engine.schedule(1e-3, fired.append, "doomed")
+        engine.schedule(1e-3 + 5e-7, fired.append, "kept")
+        doomed.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_degenerate_width_force_drains(self):
+        # When ulp(base) exceeds the bucket width, boundaries collapse to
+        # the same float and the window cannot advance; the scheduler
+        # must still drain events (in order) rather than spin.
+        engine = Engine(scheduler=BucketScheduler(width=1e-9, nbuckets=4))
+        fired = []
+        for offset in (0.0, 0.5, 1.25):
+            engine.schedule_at(1e12 + offset, fired.append, offset)
+        engine.run()
+        assert fired == [0.0, 0.5, 1.25]
+        assert engine.now == 1e12 + 1.25
