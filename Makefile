@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples smoke smoke-update smoke-cached lint ci all
+.PHONY: install test bench examples smoke smoke-update smoke-telemetry \
+	smoke-telemetry-update smoke-cached lint ci all
 
 install:
 	pip install -e .
@@ -24,6 +25,18 @@ smoke:
 
 smoke-update:
 	PYTHONPATH=src $(PYTHON) -m repro smoke --update
+
+# Telemetry-enabled smoke: the same cells with monitors armed (their
+# metrics must not move — telemetry is strictly observational) plus a
+# queue-diagnosis cell, against the _telemetry golden.  The per-window
+# JSON lands in telemetry-windows.json for the CI artifact upload.
+smoke-telemetry:
+	PYTHONPATH=src $(PYTHON) -m repro smoke --check --telemetry \
+		--dump-windows telemetry-windows.json
+
+smoke-telemetry-update:
+	PYTHONPATH=src $(PYTHON) -m repro smoke --update --telemetry \
+		--dump-windows telemetry-windows.json
 
 # Lint with ruff when it is installed; skip gracefully when it is not
 # (CI always installs it, local environments may not).
@@ -50,5 +63,6 @@ ci:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) lint
 	$(MAKE) smoke-cached
+	$(MAKE) smoke-telemetry
 
 all: install test bench

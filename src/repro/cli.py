@@ -50,8 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate an evaluation figure")
     exp.add_argument(
-        "--figure", choices=("10", "17", "18", "20", "fault-recovery"), required=True,
-        help="paper figure number, or the live fault-recovery experiment",
+        "--figure",
+        choices=("10", "17", "18", "20", "fault-recovery", "queue-diagnosis"),
+        required=True,
+        help="paper figure number, the live fault-recovery experiment, or "
+        "the telemetry queue-diagnosis sweep",
     )
     exp.add_argument(
         "--kind", choices=("scatter", "gather", "scatter_gather"),
@@ -59,11 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument(
         "--router", choices=("ecmp", "vlb"), default="ecmp",
-        help="routing engine for the fault-recovery experiment",
+        help="routing engine for the fault-recovery and queue-diagnosis "
+        "experiments",
     )
     exp.add_argument(
         "--seed", type=int, default=0,
-        help="fault-schedule seed for the fault-recovery experiment",
+        help="seed for the fault-recovery and queue-diagnosis experiments",
     )
     exp.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -118,7 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     smoke.add_argument(
         "--golden", type=str, default=None, metavar="PATH",
-        help="golden JSON location (default: tests/golden/benchmark_smoke.json)",
+        help="golden JSON location (default: tests/golden/benchmark_smoke.json, "
+        "or the _telemetry variant with --telemetry)",
+    )
+    smoke.add_argument(
+        "--telemetry", action="store_true",
+        help="run the telemetry-enabled smoke variant (windowed monitors + "
+        "INT stamping armed) against its own golden file",
+    )
+    smoke.add_argument(
+        "--dump-windows", type=str, default=None, metavar="PATH",
+        help="with --telemetry: also write the per-window telemetry JSON "
+        "dump to PATH (CI uploads it as a workflow artifact)",
     )
     return parser
 
@@ -220,6 +235,11 @@ def _run_experiment(args: argparse.Namespace, E, workers: int | None) -> int:
             seeds=(args.seed,), workers=workers, router=args.router
         )
         print(E.format_fault_recovery(results))
+    elif args.figure == "queue-diagnosis":
+        results = E.queue_diagnosis_sweep(
+            seeds=(args.seed,), workers=workers, router=args.router
+        )
+        print(E.format_queue_diagnosis(results))
     elif args.figure == "10":
         print(E.format_figure10(E.figure10_sweep(workers=workers)))
     elif args.figure == "20":
@@ -308,16 +328,24 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
 
     from repro import smoke as S
 
-    path = Path(args.golden) if args.golden else S.GOLDEN_PATH
+    if args.dump_windows and not args.telemetry:
+        print("--dump-windows requires --telemetry", file=sys.stderr)
+        return 2
+    default = S.GOLDEN_TELEMETRY_PATH if args.telemetry else S.GOLDEN_PATH
+    path = Path(args.golden) if args.golden else default
     if args.update:
-        metrics = S.update(path)
+        metrics = S.update(
+            path, telemetry=args.telemetry, dump_windows_to=args.dump_windows
+        )
         print(f"golden updated: {path}")
         for key in sorted(metrics):
             print(f"  {key} = {metrics[key]!r}")
         _print_smoke_runtime(metrics["runtime.wall_clock_s"])
         return 0
     start = time.perf_counter()
-    problems = S.check(path)
+    problems = S.check(
+        path, telemetry=args.telemetry, dump_windows_to=args.dump_windows
+    )
     elapsed = time.perf_counter() - start
     _print_smoke_runtime(elapsed)
     if problems:

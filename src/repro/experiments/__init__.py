@@ -10,6 +10,8 @@ a figure with one call:
 * :mod:`~repro.experiments.bisection` — Figure 10 (Section 5.1).
 * :mod:`~repro.experiments.fault_recovery` — live fibre-cut recovery
   (the dynamic companion to Figure 6, Section 3.5).
+* :mod:`~repro.experiments.queue_diagnosis` — telemetry localization of
+  injected incast bursts (ROADMAP item 3 validation).
 """
 
 from repro.experiments.breakdown import (
@@ -39,6 +41,15 @@ from repro.experiments.pathological import (
     quartz_core_testbed,
     run_pathological,
 )
+from repro.experiments.queue_diagnosis import (
+    HEAVY_FLOW,
+    DiagnosisScore,
+    QueueDiagnosisResult,
+    format_queue_diagnosis,
+    queue_diagnosis_sweep,
+    run_queue_diagnosis_cell,
+    score_diagnosis,
+)
 from repro.experiments.section7 import (
     TOPOLOGY_BUILDERS,
     SweepPoint,
@@ -52,8 +63,15 @@ from repro.experiments.section7 import (
 __all__ = [
     "BisectionResult",
     "FABRIC_BUILDERS",
+    "DiagnosisScore",
     "FaultRecoveryResult",
+    "HEAVY_FLOW",
     "PathologicalResult",
+    "QueueDiagnosisResult",
+    "format_queue_diagnosis",
+    "queue_diagnosis_sweep",
+    "run_queue_diagnosis_cell",
+    "score_diagnosis",
     "ROUTER_BUILDERS",
     "fault_recovery_sweep",
     "format_fault_recovery",

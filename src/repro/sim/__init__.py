@@ -34,6 +34,7 @@ from repro.sim.sources import (
 from repro.sim.stats import (
     FaultLogEntry,
     FaultRecorder,
+    HopStampStats,
     LatencyRecorder,
     LatencySummary,
     summarize_latencies,
@@ -62,6 +63,7 @@ __all__ = [
     "FaultInjector",
     "FaultLogEntry",
     "FaultRecorder",
+    "HopStampStats",
     "SegmentCut",
     "random_fault_schedule",
     "LatencyBreakdown",

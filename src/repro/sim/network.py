@@ -42,6 +42,7 @@ from repro.sim.fastpath import (
 )
 from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
+from repro.telemetry.windows import TelemetryConfig, TelemetryHub, resolve_config
 from repro.topology.base import Topology
 from repro.units import BITS_PER_BYTE, MICROSECONDS, NANOSECONDS
 
@@ -75,6 +76,9 @@ class Packet:
     dropped: bool = False  # severed mid-flight by a link failure
     rerouted: bool = False  # detoured around a dead link after injection
     plan: HopPlan | None = field(default=None, repr=False)  # compiled fast path
+    #: INT-style per-hop stamps (node, queue depth seen, wait time) when
+    #: telemetry stamping is armed; ``None`` otherwise.
+    stamps: list[tuple[str, int, float]] | None = field(default=None, repr=False)
 
     @property
     def latency(self) -> float:
@@ -143,6 +147,7 @@ class Network:
         buffer_bytes: float | None = None,
         fastpath: bool | None = None,
         batch: bool | None = None,
+        telemetry: "TelemetryConfig | bool | None" = None,
     ) -> None:
         """``buffer_bytes`` bounds each output port's queue: a packet
         arriving to a port whose backlog would exceed the buffer is
@@ -165,7 +170,20 @@ class Network:
         Batching additionally requires the compiled fast path and
         unbounded buffers — with either missing, ``batch_enabled`` stays
         ``False`` and every injection takes the scalar loops.  All three
-        paths (reference, fastpath, batched) are bit-identical."""
+        paths (reference, fastpath, batched) are bit-identical.
+
+        ``telemetry`` arms the in-fabric telemetry layer
+        (:mod:`repro.telemetry`): ``True`` or a
+        :class:`~repro.telemetry.TelemetryConfig` attaches per-port
+        windowed queue monitors (and, by default, INT-style per-packet
+        stamping) via hooks in both forwarding loops; the default
+        (``None``) follows the ``REPRO_TELEMETRY`` environment
+        variable; ``False`` forces it off.  Telemetry is strictly
+        observational — packet timings, counters, and stats are
+        bit-identical with it on or off — but armed monitors need to
+        see every packet at every hop, so cohort batching stands down
+        (``batch_enabled`` stays ``False``) exactly as it does for
+        bounded buffers; the compiled fast path keeps running."""
         if buffer_bytes is not None and buffer_bytes <= 0:
             raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
         self.topo = topo
@@ -177,6 +195,13 @@ class Network:
         self.buffer_bytes = buffer_bytes
         self.stats = LatencyRecorder()
         self.fault_stats = FaultRecorder()
+        #: Armed telemetry hub (:class:`repro.telemetry.TelemetryHub`),
+        #: or ``None`` — the disabled state costs one attribute check
+        #: per transmit and changes no simulation result either way.
+        tele_config = resolve_config(telemetry)
+        self.telemetry: TelemetryHub | None = (
+            TelemetryHub(tele_config) if tele_config is not None else None
+        )
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.packets_dropped_fault = 0
@@ -228,10 +253,15 @@ class Network:
             batch = os.environ.get(BATCH_ENV, "0") in ("", "0")
         #: Whether cohort injections may commit vectorized (read-only
         #: after init).  Requires the fast path (the stacked plans are
-        #: compiled from HopPlans) and unbounded buffers (the backlog
-        #: check reads ``engine.now`` mid-flight, which batching elides).
+        #: compiled from HopPlans), unbounded buffers (the backlog
+        #: check reads ``engine.now`` mid-flight, which batching
+        #: elides), and disarmed telemetry (monitors observe per-packet
+        #: queue state the vectorized commit never materializes).
         self.batch_enabled = (
-            bool(batch) and self.fastpath_enabled and buffer_bytes is None
+            bool(batch)
+            and self.fastpath_enabled
+            and buffer_bytes is None
+            and self.telemetry is None
         )
         # Stacked (vectorized) twins of ``_plans``, same invalidation.
         self._stacked: dict[Path, StackedPlan] = {}
@@ -296,6 +326,8 @@ class Network:
         self.packets_unroutable += 1
         self.packets_dropped += 1
         self.packets_dropped_fault += 1
+        if self.telemetry is not None:
+            self.telemetry.on_unroutable()
         if self._track_in_flight:
             self.fault_stats.record_drop(group, self.engine.now)
 
@@ -346,6 +378,7 @@ class Network:
             or not engine.batching_ok
             or self._dead_links
             or self._track_in_flight
+            or self.telemetry is not None
         ):
             return 0
         if size_bytes <= 0:
@@ -458,6 +491,7 @@ class Network:
         ser_factor, port, capacity = rec
         size = packet.size_bytes
         ser = size * ser_factor
+        tele = self.telemetry
         if self.buffer_bytes is not None:
             # Bytes still queued ahead of this packet when it reaches the
             # port: the time the port stays busy past the packet's
@@ -467,6 +501,8 @@ class Network:
             if backlog_bytes + size > self.buffer_bytes:
                 port.packets_dropped += 1
                 self.packets_dropped += 1
+                if tele is not None:
+                    tele.on_drop(key, packet.group, self.engine.now)
                 return
         start = port.busy_until
         if start < earliest_start:
@@ -475,6 +511,15 @@ class Network:
         port.busy_until = tail_out
         port.packets_sent += 1
         port.bytes_sent += size
+        if tele is not None:
+            depth, wait = tele.on_enqueue(
+                key, packet.group, size, earliest_start, start, tail_out
+            )
+            if tele.stamping:
+                stamps = packet.stamps
+                if stamps is None:
+                    stamps = packet.stamps = []
+                stamps.append((path[hop], depth, wait))
         if self._track_in_flight:
             self._in_flight.setdefault(key, set()).add(packet)
         self.engine.call_at(tail_out + self.propagation_delay, self._arrive, packet)
@@ -497,6 +542,8 @@ class Network:
             packet.delivered_at = now + self.host_receive_latency
             self.packets_delivered += 1
             self.stats.record(packet.latency, group=packet.group)
+            if packet.stamps is not None:
+                self.stats.record_stamps(packet.group, packet.stamps)
             if self._track_in_flight:
                 self.fault_stats.record_delivery(packet.group, now)
             if packet.on_delivered is not None:
@@ -534,6 +581,7 @@ class Network:
         port = plan.ports[hop]
         size = packet.size_bytes
         ser = size * plan.ser[hop]
+        tele = self.telemetry
         if self.buffer_bytes is not None:
             backlog_seconds = max(
                 0.0, port.busy_until - max(earliest_start, self.engine.now)
@@ -542,6 +590,8 @@ class Network:
             if backlog_bytes + size > self.buffer_bytes:
                 port.packets_dropped += 1
                 self.packets_dropped += 1
+                if tele is not None:
+                    tele.on_drop(plan.keys[hop], packet.group, self.engine.now)
                 return
         start = port.busy_until
         if start < earliest_start:
@@ -550,6 +600,15 @@ class Network:
         port.busy_until = tail_out
         port.packets_sent += 1
         port.bytes_sent += size
+        if tele is not None:
+            depth, wait = tele.on_enqueue(
+                plan.keys[hop], packet.group, size, earliest_start, start, tail_out
+            )
+            if tele.stamping:
+                stamps = packet.stamps
+                if stamps is None:
+                    stamps = packet.stamps = []
+                stamps.append((plan.path[hop], depth, wait))
         if self._track_in_flight:
             self._in_flight.setdefault(plan.keys[hop], set()).add(packet)
         self.engine.call_at(
@@ -579,6 +638,8 @@ class Network:
             packet.delivered_at = now + self.host_receive_latency
             self.packets_delivered += 1
             self.stats.record(packet.latency, group=packet.group)
+            if packet.stamps is not None:
+                self.stats.record_stamps(packet.group, packet.stamps)
             if self._track_in_flight:
                 self.fault_stats.record_delivery(packet.group, now)
             if packet.on_delivered is not None:
@@ -630,6 +691,8 @@ class Network:
                 packet.dropped = True
                 dropped += 1
                 self.fault_stats.record_drop(packet.group, now)
+                if self.telemetry is not None:
+                    self.telemetry.on_drop(key, packet.group, now)
             # The severed queue drains to nowhere: the port is idle for
             # whatever transmits after a repair.
             self._ports[key].busy_until = now
@@ -689,6 +752,14 @@ class Network:
             self.packets_dropped_fault += 1
             self.packets_dropped += 1
             self.fault_stats.record_drop(packet.group, self.engine.now)
+            if self.telemetry is not None:
+                # Charge the drop to the dead link the packet could not
+                # cross — the port a diagnosis should point at.
+                self.telemetry.on_drop(
+                    (node, packet.path[packet.hop + 1]),
+                    packet.group,
+                    self.engine.now,
+                )
             return
         packet.path = detour
         packet.hop = 0

@@ -56,11 +56,43 @@ def _percentile(ordered: list[float], q: float) -> float:
 
 
 @dataclass
+class HopStampStats:
+    """Aggregated INT stamps for one (flow, node) pair.
+
+    Telemetry's per-packet stamping records the queue depth seen and
+    the wait time paid at every hop; on delivery the stamps fold into
+    these per-flow, per-node aggregates (sum + max, so mean/max are
+    O(1) to read and the recorder never stores per-packet lists).
+    """
+
+    packets: int = 0
+    depth_sum: int = 0
+    depth_max: int = 0
+    wait_sum: float = 0.0
+    wait_max: float = 0.0
+
+    @property
+    def mean_depth(self) -> float:
+        return self.depth_sum / self.packets if self.packets else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_sum / self.packets if self.packets else 0.0
+
+
+@dataclass
 class LatencyRecorder:
-    """Accumulates per-packet delivery latencies, grouped by flow label."""
+    """Accumulates per-packet delivery latencies, grouped by flow label.
+
+    When telemetry stamping is armed, each delivered packet's INT
+    stamps additionally fold into ``hop_stamps`` — flow label → node →
+    :class:`HopStampStats` — giving every flow a per-hop queueing
+    profile alongside its latency samples.
+    """
 
     samples: list[float] = field(default_factory=list)
     by_group: dict[str, list[float]] = field(default_factory=dict)
+    hop_stamps: dict[str, dict[str, HopStampStats]] = field(default_factory=dict)
 
     def record(self, latency: float, group: str | None = None) -> None:
         if latency < 0:
@@ -83,6 +115,31 @@ class LatencyRecorder:
         if group is not None:
             self.by_group.setdefault(group, []).extend(latencies)
 
+    def record_stamps(
+        self, group: str | None, stamps: list[tuple[str, int, float]]
+    ) -> None:
+        """Fold one delivered packet's INT stamps into the flow records.
+
+        ``stamps`` is the packet's per-hop ``(node, queue depth seen,
+        wait time)`` list, in path order.  Packets without a ``group``
+        share the :data:`UNGROUPED` flow record.
+        """
+        flow = group if group is not None else UNGROUPED
+        per_node = self.hop_stamps.get(flow)
+        if per_node is None:
+            per_node = self.hop_stamps[flow] = {}
+        for node, depth, wait in stamps:
+            rec = per_node.get(node)
+            if rec is None:
+                rec = per_node[node] = HopStampStats()
+            rec.packets += 1
+            rec.depth_sum += depth
+            if depth > rec.depth_max:
+                rec.depth_max = depth
+            rec.wait_sum += wait
+            if wait > rec.wait_max:
+                rec.wait_max = wait
+
     @property
     def count(self) -> int:
         return len(self.samples)
@@ -99,6 +156,7 @@ class LatencyRecorder:
     def clear(self) -> None:
         self.samples.clear()
         self.by_group.clear()
+        self.hop_stamps.clear()
 
 
 # -- fault observability ------------------------------------------------------------

@@ -34,6 +34,11 @@ from typing import Any
 #: Default golden location, relative to the repository root.
 GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "benchmark_smoke.json"
 
+#: Golden for the telemetry-enabled smoke variant (``--telemetry``):
+#: the same cells with monitors armed (asserting telemetry changes no
+#: compared metric) plus the ``telemetry.*`` diagnosis metrics.
+GOLDEN_TELEMETRY_PATH = GOLDEN_PATH.with_name("benchmark_smoke_telemetry.json")
+
 #: Relative tolerance for float comparisons (exact for ints/strings).
 REL_TOL = 1e-9
 
@@ -81,6 +86,62 @@ def compute_smoke_metrics() -> dict[str, Any]:
     }
 
 
+def compute_telemetry_smoke_metrics(
+    dump_windows_to: Path | str | None = None,
+) -> dict[str, Any]:
+    """The telemetry-enabled smoke variant.
+
+    Two parts, one golden:
+
+    * the **same** two smoke cells re-run with ``REPRO_TELEMETRY=1``
+      armed for the duration — because telemetry is strictly
+      observational, every base metric must match the telemetry-off
+      golden bit for bit (drift here means telemetry perturbed packet
+      timing, the one thing it must never do);
+    * one seeded queue-diagnosis cell (incast + mid-burst fibre cut),
+      contributing ``telemetry.*`` metrics: localization picks, window
+      counts, and microburst evidence.
+
+    ``dump_windows_to`` additionally writes that cell's full per-window
+    telemetry JSON — CI uploads it as a workflow artifact.
+    """
+    import os
+
+    from repro.experiments import run_queue_diagnosis_cell
+    from repro.telemetry import TELEMETRY_ENV
+
+    saved = os.environ.get(TELEMETRY_ENV)
+    os.environ[TELEMETRY_ENV] = "1"
+    try:
+        metrics = compute_smoke_metrics()
+    finally:
+        if saved is None:
+            del os.environ[TELEMETRY_ENV]
+        else:
+            os.environ[TELEMETRY_ENV] = saved
+
+    cell = run_queue_diagnosis_cell(seed=0, cut=True, dump_windows_to=dump_windows_to)
+    metrics.update(
+        {
+            "telemetry.port_correct": cell.port_correct,
+            "telemetry.flow_correct": cell.flow_correct,
+            "telemetry.detected_port": (
+                None if cell.detected_port is None else "->".join(cell.detected_port)
+            ),
+            "telemetry.detected_flow": cell.detected_flow,
+            "telemetry.bursts_at_culprit": cell.bursts_at_culprit,
+            "telemetry.peak_depth": cell.peak_depth,
+            "telemetry.windows_observed": cell.windows_observed,
+            "telemetry.windows_contiguous": cell.windows_contiguous,
+            "telemetry.packets_delivered": cell.packets_delivered,
+            "telemetry.packets_dropped": cell.packets_dropped,
+            "telemetry.packets_rerouted": cell.packets_rerouted,
+            "telemetry.channels_severed": cell.channels_severed,
+        }
+    )
+    return metrics
+
+
 def runtime_metrics(elapsed_s: float) -> dict[str, Any]:
     """The ``runtime.*`` keys for one smoke run (never compared)."""
     from repro.cache import artifact_cache
@@ -120,22 +181,42 @@ def compare_metrics(
     return problems
 
 
-def check(path: Path = GOLDEN_PATH) -> list[str]:
+def check(
+    path: Path = GOLDEN_PATH,
+    telemetry: bool = False,
+    dump_windows_to: Path | str | None = None,
+) -> list[str]:
     """Compare a fresh run against the golden; returns the drift list."""
     if not path.exists():
-        return [f"golden file {path} missing; run `python -m repro smoke --update`"]
+        flag = " --telemetry" if telemetry else ""
+        return [
+            f"golden file {path} missing; run "
+            f"`python -m repro smoke --update{flag}`"
+        ]
     golden = json.loads(path.read_text())
-    return compare_metrics(golden, compute_smoke_metrics())
+    if telemetry:
+        current = compute_telemetry_smoke_metrics(dump_windows_to=dump_windows_to)
+    else:
+        current = compute_smoke_metrics()
+    return compare_metrics(golden, current)
 
 
-def update(path: Path = GOLDEN_PATH) -> dict[str, Any]:
+def update(
+    path: Path = GOLDEN_PATH,
+    telemetry: bool = False,
+    dump_windows_to: Path | str | None = None,
+) -> dict[str, Any]:
     """Regenerate the golden file from a fresh run.
 
     The written file includes the ``runtime.*`` trajectory keys; the
-    compared metrics stay exactly :func:`compute_smoke_metrics`.
+    compared metrics stay exactly :func:`compute_smoke_metrics` (or its
+    telemetry variant).
     """
     start = time.perf_counter()
-    metrics = compute_smoke_metrics()
+    if telemetry:
+        metrics = compute_telemetry_smoke_metrics(dump_windows_to=dump_windows_to)
+    else:
+        metrics = compute_smoke_metrics()
     metrics = {**metrics, **runtime_metrics(time.perf_counter() - start)}
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,65 @@
+"""In-fabric telemetry: windowed queue monitors, INT stamping, diagnosis.
+
+The simulator can see what real data planes struggle to measure — this
+package makes that a feature (ROADMAP item 3, PrintQueue-style).  It has
+three layers, all strictly observational (a telemetry-on run is
+bit-identical in packet timing to a telemetry-off run):
+
+* :mod:`~repro.telemetry.windows` — per-port time-windowed queue
+  monitors: depth samples, wait times, drop/enqueue counters, and
+  per-flow occupancy integrals per fixed-width window;
+* INT-style per-packet stamping — queue depth and wait time at each
+  hop, carried on the packet and folded into
+  :class:`repro.sim.stats.LatencyRecorder` flow records on delivery
+  (enabled via :class:`TelemetryConfig.stamping`);
+* :mod:`~repro.telemetry.attribution` — microburst detection and
+  "which flow built this queue" attribution over the monitor windows.
+
+Arm it per network (``Network(topo, router, telemetry=True)`` or a
+:class:`TelemetryConfig`) or globally via ``REPRO_TELEMETRY=1``.  While
+monitors are armed the cohort batching engine stands down (monitors
+observe per-packet state the vectorized commit elides); the compiled
+fast path keeps running, with hooks in both forwarding loops.
+"""
+
+from repro.telemetry.attribution import (
+    DEFAULT_MIN_DEPTH,
+    DEFAULT_OCCUPANCY_FACTOR,
+    Diagnosis,
+    Microburst,
+    detect_microbursts,
+    diagnose,
+    rank_flows,
+    top_flow,
+)
+from repro.telemetry.windows import (
+    DEFAULT_WINDOW,
+    TELEMETRY_ENV,
+    PortMonitor,
+    TelemetryConfig,
+    TelemetryError,
+    TelemetryHub,
+    Window,
+    resolve_config,
+    telemetry_env_enabled,
+)
+
+__all__ = [
+    "DEFAULT_MIN_DEPTH",
+    "DEFAULT_OCCUPANCY_FACTOR",
+    "DEFAULT_WINDOW",
+    "Diagnosis",
+    "Microburst",
+    "PortMonitor",
+    "TELEMETRY_ENV",
+    "TelemetryConfig",
+    "TelemetryError",
+    "TelemetryHub",
+    "Window",
+    "detect_microbursts",
+    "diagnose",
+    "rank_flows",
+    "resolve_config",
+    "telemetry_env_enabled",
+    "top_flow",
+]

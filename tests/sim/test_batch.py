@@ -27,7 +27,12 @@ MODES = ("batched", "fastpath", "reference")
 
 
 def build(mode, buffer_bytes=None):
-    """A three-tier network in one of the three forwarding modes."""
+    """A three-tier network in one of the three forwarding modes.
+
+    ``telemetry=False`` is pinned (like ``fastpath`` below) so the
+    batching assertions hold under ``REPRO_TELEMETRY=1``, where armed
+    monitors would otherwise stand the cohort engine down.
+    """
     topo = T.three_tier_tree()
     fastpath = mode != "reference"
     return Network(
@@ -36,6 +41,7 @@ def build(mode, buffer_bytes=None):
         fastpath=fastpath,
         batch=(mode == "batched"),
         buffer_bytes=buffer_bytes,
+        telemetry=False,
     )
 
 
@@ -177,32 +183,49 @@ class TestEquivalence:
 
 
 class TestFlagResolution:
-    # fastpath=True is pinned so the assertions hold even when the
-    # whole suite runs under REPRO_FASTPATH_DISABLE=1.
+    # fastpath=True and telemetry=False are pinned so the assertions
+    # hold even when the whole suite runs under REPRO_FASTPATH_DISABLE=1
+    # or REPRO_TELEMETRY=1.
     def test_env_disables_batching(self, monkeypatch):
         monkeypatch.setenv(BATCH_ENV, "1")
         topo = T.full_mesh(2, 1)
-        assert not Network(topo, ECMPRouter(topo), fastpath=True).batch_enabled
+        net = Network(topo, ECMPRouter(topo), fastpath=True, telemetry=False)
+        assert not net.batch_enabled
 
     def test_explicit_flag_wins_over_env(self, monkeypatch):
         monkeypatch.setenv(BATCH_ENV, "1")
         topo = T.full_mesh(2, 1)
-        net = Network(topo, ECMPRouter(topo), fastpath=True, batch=True)
+        net = Network(
+            topo, ECMPRouter(topo), fastpath=True, batch=True, telemetry=False
+        )
         assert net.batch_enabled
 
     def test_env_unset_enables_batching(self, monkeypatch):
         monkeypatch.delenv(BATCH_ENV, raising=False)
         topo = T.full_mesh(2, 1)
-        assert Network(topo, ECMPRouter(topo), fastpath=True).batch_enabled
+        net = Network(topo, ECMPRouter(topo), fastpath=True, telemetry=False)
+        assert net.batch_enabled
 
     def test_batching_requires_fastpath(self):
         topo = T.full_mesh(2, 1)
-        assert not Network(topo, ECMPRouter(topo), fastpath=False, batch=True).batch_enabled
+        net = Network(
+            topo, ECMPRouter(topo), fastpath=False, batch=True, telemetry=False
+        )
+        assert not net.batch_enabled
+
+    def test_telemetry_stands_batching_down(self):
+        topo = T.full_mesh(2, 1)
+        net = Network(
+            topo, ECMPRouter(topo), fastpath=True, batch=True, telemetry=True
+        )
+        assert not net.batch_enabled
+        assert net.fastpath_enabled, "fast path keeps running under telemetry"
 
     def test_bounded_buffers_disable_batching(self):
         topo = T.full_mesh(2, 1)
         net = Network(
-            topo, ECMPRouter(topo), fastpath=True, batch=True, buffer_bytes=9000
+            topo, ECMPRouter(topo), fastpath=True, batch=True, buffer_bytes=9000,
+            telemetry=False,
         )
         assert not net.batch_enabled
         # ... and the run still agrees with the scalar loops trivially.
@@ -229,7 +252,9 @@ class TestSendCohortAPI:
     @pytest.fixture
     def net(self):
         topo = T.three_tier_tree()
-        return Network(topo, ECMPRouter(topo), fastpath=True, batch=True)
+        return Network(
+            topo, ECMPRouter(topo), fastpath=True, batch=True, telemetry=False
+        )
 
     def test_returns_zero_outside_run(self, net):
         # batching_ok is only True while a run loop dispatches.

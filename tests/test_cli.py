@@ -190,3 +190,47 @@ class TestFaultRecoveryParser:
         )
         assert args.figure == "fault-recovery"
         assert args.router == "vlb" and args.seed == 3 and args.workers == 2
+
+
+class TestQueueDiagnosisCommand:
+    def test_runs_and_prints_scorecard(self, capsys):
+        assert main(["experiment", "--figure", "queue-diagnosis", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Queue diagnosis" in out
+        assert "tor1->h1.0" in out
+        assert "port  precision" in out and "flow  precision" in out
+
+    def test_parser_accepts_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["experiment", "--figure", "queue-diagnosis", "--router", "vlb"]
+        )
+        assert args.figure == "queue-diagnosis"
+        assert args.router == "vlb"
+
+
+class TestTelemetrySmokeCommand:
+    def test_update_then_check_round_trips(self, tmp_path, capsys):
+        golden = str(tmp_path / "golden.json")
+        assert main(["smoke", "--update", "--telemetry", "--golden", golden]) == 0
+        out = capsys.readouterr().out
+        assert "golden updated" in out and "telemetry.port_correct = True" in out
+        assert main(["smoke", "--check", "--telemetry", "--golden", golden]) == 0
+        assert "benchmark smoke OK" in capsys.readouterr().out
+
+    def test_dump_windows_writes_artifact(self, tmp_path, capsys):
+        golden = str(tmp_path / "golden.json")
+        dump = tmp_path / "windows.json"
+        assert main(
+            ["smoke", "--update", "--telemetry", "--golden", golden,
+             "--dump-windows", str(dump)]
+        ) == 0
+        doc = json.loads(dump.read_text())
+        assert doc["ports"]
+
+    def test_dump_windows_requires_telemetry(self, tmp_path, capsys):
+        assert main(
+            ["smoke", "--check", "--dump-windows", str(tmp_path / "w.json")]
+        ) == 2
+        assert "--telemetry" in capsys.readouterr().err

@@ -96,3 +96,44 @@ class TestGoldenFile:
         tampered["fault.packets_delivered"] += 7
         path.write_text(json.dumps(tampered))
         assert smoke.check(path)
+
+
+class TestTelemetryVariant:
+    @pytest.fixture(scope="class")
+    def tele_metrics(self):
+        return smoke.compute_telemetry_smoke_metrics()
+
+    def test_base_metrics_unchanged_by_telemetry(self, metrics, tele_metrics):
+        """The heart of the opt-in contract: arming monitors + stamping
+        for the same cells must not move a single compared metric."""
+        for key, value in metrics.items():
+            assert tele_metrics[key] == value, key
+
+    def test_telemetry_metrics_present_and_correct(self, tele_metrics):
+        assert tele_metrics["telemetry.port_correct"] is True
+        assert tele_metrics["telemetry.flow_correct"] is True
+        assert tele_metrics["telemetry.windows_contiguous"] is True
+        assert tele_metrics["telemetry.bursts_at_culprit"] > 0
+
+    def test_checked_in_telemetry_golden_matches(self):
+        """The exact check `make smoke-telemetry` (and its CI leg) runs."""
+        assert smoke.GOLDEN_TELEMETRY_PATH.exists()
+        assert smoke.check(smoke.GOLDEN_TELEMETRY_PATH, telemetry=True) == []
+
+    def test_telemetry_env_restored_after_run(self, tele_metrics):
+        import os
+
+        from repro.telemetry import TELEMETRY_ENV
+
+        assert os.environ.get(TELEMETRY_ENV, "0") in ("", "0", "1")
+        # The variant must not leak an armed environment into the
+        # process when it started disarmed.
+        if os.environ.get(TELEMETRY_ENV) is None:
+            smoke.compute_telemetry_smoke_metrics()
+            assert TELEMETRY_ENV not in os.environ
+
+    def test_dump_windows_artifact(self, tmp_path):
+        out = tmp_path / "windows.json"
+        smoke.compute_telemetry_smoke_metrics(dump_windows_to=out)
+        dump = json.loads(out.read_text())
+        assert dump["ports"]
