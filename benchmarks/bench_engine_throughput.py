@@ -41,6 +41,7 @@ import repro.topology as T
 from repro.experiments import figure17_sweep
 from repro.experiments.pathological import run_pathological
 from repro.routing import ECMPRouter
+from repro.runner import ExperimentSpec, run_cells
 from repro.sim import Network
 from repro.sim.engine import Engine
 from repro.sim.fastpath import FASTPATH_ENV
@@ -187,6 +188,25 @@ def _time_sweep(workers: int) -> tuple[float, dict]:
     return time.perf_counter() - start, result
 
 
+def _noop_cell() -> None:
+    return None
+
+
+def _pool_spinup_seconds(workers: int, n_cells: int) -> float:
+    """Wall clock of a pool round-trip over no-op cells.
+
+    Same worker count and cell count as the mini-sweep, but every cell
+    returns immediately — what remains is process start-up, initializer
+    runs, and pickling, i.e. the pool's fixed overhead.  Subtracting it
+    from the parallel sweep isolates the compute phase so the parallel
+    gate prices the pool's marginal cost, not process creation.
+    """
+    cells = [ExperimentSpec(_noop_cell) for _ in range(n_cells)]
+    start = time.perf_counter()
+    run_cells(cells, workers=workers)
+    return time.perf_counter() - start
+
+
 def bench_engine_throughput(benchmark, report, bench_record):
     call_at_rate = benchmark.pedantic(
         lambda: _events_per_sec(Engine), rounds=3, iterations=1
@@ -206,8 +226,17 @@ def bench_engine_throughput(benchmark, report, bench_record):
     engine_vs_pr3_replica = max(
         c / p for c, p in zip(call_at_rounds, pr3_rounds)
     )
-    schedule_rate = max(
-        _events_per_sec(Engine, use_call_at=False) for _ in range(3)
+    # The schedule-vs-call_at ratio is paired the same way: each round
+    # measures both paths back to back, and the gate takes the best
+    # paired ratio — container drift hits both paths of a pair equally.
+    schedule_rounds = []
+    call_at_paired = []
+    for _ in range(3):
+        call_at_paired.append(_events_per_sec(Engine))
+        schedule_rounds.append(_events_per_sec(Engine, use_call_at=False))
+    schedule_rate = max(schedule_rounds)
+    schedule_vs_call_at_paired = max(
+        s / c for s, c in zip(schedule_rounds, call_at_paired)
     )
 
     start = time.perf_counter()
@@ -223,7 +252,9 @@ def bench_engine_throughput(benchmark, report, bench_record):
         retry_seconds, retry = _time_sweep(workers=1)
         if retry_seconds < sweep_serial:
             sweep_serial, serial = retry_seconds, retry
+    sweep_spinup = min(_pool_spinup_seconds(4, 16) for _ in range(2))
     sweep_parallel, parallel = _time_sweep(workers=4)
+    sweep_parallel_compute = max(0.0, sweep_parallel - sweep_spinup)
     assert {t: [p.mean_latency for p in pts] for t, pts in parallel.items()} == {
         t: [p.mean_latency for p in pts] for t, pts in serial.items()
     }
@@ -244,7 +275,7 @@ def bench_engine_throughput(benchmark, report, bench_record):
     )
 
     engine_vs_pr3 = call_at_rate / PR3_ENGINE_EVENTS_PER_SEC
-    schedule_vs_call_at = schedule_rate / call_at_rate
+    schedule_vs_call_at = schedule_vs_call_at_paired
     batched_vs_fastpath = batched_rate / cohort_scalar_rate
     telemetry_overhead_ratio = cohort_scalar_rate / telemetry_rate
     telemetry_off_vs_pr6 = cohort_scalar_rate / PR6_COHORT_FASTPATH_EVENTS_PER_SEC
@@ -291,6 +322,9 @@ def bench_engine_throughput(benchmark, report, bench_record):
         f"{'fig17 mini-sweep, workers=4 vs seed (s)':<46}"
         f"{SEED_SWEEP_SECONDS:>12.2f}{sweep_parallel:>12.2f}"
         f"{SEED_SWEEP_SECONDS / sweep_parallel:>8.2f}x",
+        f"{'fig17 mini-sweep, workers=4 phases (s)':<46}"
+        f"{sweep_spinup:>11.2f}s{sweep_parallel_compute:>11.2f}s"
+        f"{'(spin/comp)':>11}",
         "",
         "Container baselines: seed tree at 357d95d, PR 3 tree at 91e61d7,",
         "both measured on this container.  The PR 3 replica row re-runs",
@@ -328,6 +362,10 @@ def bench_engine_throughput(benchmark, report, bench_record):
         fig17_mini_sweep_serial_seconds=round(sweep_serial, 3),
         fig17_mini_sweep_reference_seconds=round(sweep_reference, 3),
         fig17_mini_sweep_parallel_seconds=round(sweep_parallel, 3),
+        fig17_mini_sweep_parallel_spinup_seconds=round(sweep_spinup, 3),
+        fig17_mini_sweep_parallel_compute_seconds=round(
+            sweep_parallel_compute, 3
+        ),
         fig17_sweep_speedup_vs_pr3=round(sweep_vs_pr3, 3),
         fig17_sweep_speedup_vs_reference=round(sweep_vs_reference, 3),
     )
@@ -340,12 +378,25 @@ def bench_engine_throughput(benchmark, report, bench_record):
     assert engine_vs_pr3_replica >= 1.5
     assert sweep_serial <= PR3_SWEEP_SECONDS / 1.3
     assert sweep_vs_reference >= 1.2, "fast path should beat the reference loop"
-    # PR 6 gates: the specialized schedule path must stay within striking
-    # distance of call_at (it used to trail 2.8x; the remaining cost is
-    # the Event handle allocation), and the batched flight engine must
-    # clear 1.5x over the scalar fast path as a same-machine replica
-    # ratio on the cohort workload.
-    assert schedule_vs_call_at >= 0.45, "schedule path regressed vs call_at"
+    # PR 8 gate: the parallel mini-sweep, net of pool spin-up, must stay
+    # within 40% of the serial wall clock.  The sweep is short and the
+    # CI container may expose a single CPU, so a *speedup* gate would be
+    # dishonest — what the gate holds is that fanning out costs at most
+    # IPC + timesharing overhead (the old one-chunk-per-four regression
+    # showed up as ~1.75x serial here).
+    assert sweep_parallel_compute <= 1.4 * sweep_serial, (
+        f"parallel compute {sweep_parallel_compute:.2f}s vs serial"
+        f" {sweep_serial:.2f}s"
+    )
+    # PR 6 gates, floor raised in PR 8: the specialized schedule path
+    # must stay within striking distance of call_at (it used to trail
+    # 2.8x, then 1.8x; the Event handle is now built by inlined __new__
+    # + slot stores, leaving only the allocation itself).  The ratio is
+    # measured paired, so the floor is a property of the two code paths,
+    # not of container load.  The batched flight engine must clear 1.5x
+    # over the scalar fast path as a same-machine replica ratio on the
+    # cohort workload.
+    assert schedule_vs_call_at >= 0.55, "schedule path regressed vs call_at"
     assert schedule_rate >= 1.5 * SEED_ENGINE_EVENTS_PER_SEC
     assert batched_vs_fastpath >= 1.5, "batched engine below the 1.5x gate"
     # PR 7 gate: zero overhead when disabled.  With telemetry off the

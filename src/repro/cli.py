@@ -51,10 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate an evaluation figure")
     exp.add_argument(
         "--figure",
-        choices=("10", "17", "18", "20", "fault-recovery", "queue-diagnosis"),
+        choices=(
+            "10", "17", "18", "20", "fault-recovery", "queue-diagnosis",
+            "hybrid-scale",
+        ),
         required=True,
-        help="paper figure number, the live fault-recovery experiment, or "
-        "the telemetry queue-diagnosis sweep",
+        help="paper figure number, the live fault-recovery experiment, "
+        "the telemetry queue-diagnosis sweep, or the hybrid packet/flow "
+        "engine scale scenario",
     )
     exp.add_argument(
         "--kind", choices=("scatter", "gather", "scatter_gather"),
@@ -73,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="processes to fan the sweep over (0 = all CPUs / REPRO_WORKERS); "
         "results are identical for any worker count",
+    )
+    exp.add_argument(
+        "--background-flows", type=int, default=2000, metavar="N",
+        help="background flow count for the hybrid-scale scenario",
     )
 
     scale = sub.add_parser(
@@ -240,6 +248,11 @@ def _run_experiment(args: argparse.Namespace, E, workers: int | None) -> int:
             seeds=(args.seed,), workers=workers, router=args.router
         )
         print(E.format_queue_diagnosis(results))
+    elif args.figure == "hybrid-scale":
+        results = E.hybrid_scale_experiment(
+            n_background=args.background_flows, seed=args.seed, workers=workers
+        )
+        print(E.format_hybrid_scale(results))
     elif args.figure == "10":
         print(E.format_figure10(E.figure10_sweep(workers=workers)))
     elif args.figure == "20":

@@ -33,6 +33,13 @@ from repro.experiments.fault_recovery import (
     format_fault_recovery,
     run_fault_recovery_cell,
 )
+from repro.experiments.hybrid_scale import (
+    FABRIC_BUILDERS as HYBRID_FABRIC_BUILDERS,
+    HybridScaleResult,
+    format_hybrid_scale,
+    hybrid_scale_experiment,
+    run_hybrid_scale_cell,
+)
 from repro.experiments.pathological import (
     PathologicalResult,
     figure20_sweep,
@@ -66,6 +73,11 @@ __all__ = [
     "DiagnosisScore",
     "FaultRecoveryResult",
     "HEAVY_FLOW",
+    "HYBRID_FABRIC_BUILDERS",
+    "HybridScaleResult",
+    "format_hybrid_scale",
+    "hybrid_scale_experiment",
+    "run_hybrid_scale_cell",
     "PathologicalResult",
     "QueueDiagnosisResult",
     "format_queue_diagnosis",

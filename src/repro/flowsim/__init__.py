@@ -10,6 +10,8 @@ from repro.flowsim.fct import (
 from repro.flowsim.maxmin import (
     Flow,
     FlowSimError,
+    MaxMinSolution,
+    ResidualSolver,
     capacities_of,
     flow_from_single_path,
     max_min_rates,
@@ -31,6 +33,8 @@ __all__ = [
     "Flow",
     "FlowCompletion",
     "FlowSimError",
+    "MaxMinSolution",
+    "ResidualSolver",
     "TimedFlow",
     "max_min_rates_multipath",
     "mean_fct",

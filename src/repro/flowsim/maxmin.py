@@ -58,24 +58,16 @@ def _directed_links(path: Path) -> list[tuple[str, str]]:
     return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
 
 
-def max_min_rates(
+def _build_incidence(
     flows: list[Flow],
     capacities: dict[tuple[str, str], float],
-) -> dict[int, float]:
-    """Allocate max-min fair rates.
-
-    ``capacities`` maps *directed* links to bps.  Each flow's traffic is
-    split over its paths per the path weights (the split ratio is fixed —
-    it models the routing protocol, not the transport).  Returns
-    flow_id → achieved rate.
+) -> "tuple[sparse.csr_matrix, dict[tuple[str, str], int]]":
+    """Link × flow incidence with per-subflow weights, plus the link index.
 
     Raises :class:`FlowSimError` if a flow crosses a link that has no
-    capacity entry.
+    capacity entry.  The link index assigns rows in first-touch order,
+    so identical flow lists always produce identical matrices.
     """
-    if not flows:
-        return {}
-
-    # Build the link × subflow incidence with per-subflow weights.
     link_index: dict[tuple[str, str], int] = {}
     rows: list[int] = []
     cols: list[int] = []
@@ -91,31 +83,54 @@ def max_min_rates(
                 rows.append(l_idx)
                 cols.append(f_idx)
                 vals.append(wp.weight)
+    a = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(len(link_index), len(flows))
+    )
+    return a, link_index
 
-    n_flows = len(flows)
-    n_links = len(link_index)
-    demands = np.array([f.demand for f in flows])
+
+def _waterfill(
+    a: "sparse.csr_matrix",
+    cap: np.ndarray,
+    demands: np.ndarray,
+    at: "sparse.csr_matrix | None" = None,
+) -> np.ndarray:
+    """Progressive filling over a prebuilt incidence; returns per-flow rates.
+
+    This is the loop :func:`max_min_rates` has always run, factored out
+    so the incremental solver (:class:`ResidualSolver`) can re-run it
+    against mutated capacities without rebuilding the incidence.  One
+    extension: links with (numerically) zero capacity — a failed fibre
+    in the hybrid engine's capacity map — permanently freeze the flows
+    crossing them at rate zero instead of raising, matching what the
+    fluid model means by a dead link.  With every capacity positive the
+    arithmetic is unchanged operation for operation.
+
+    ``at`` is the transpose of ``a`` in CSR form; callers that re-solve
+    repeatedly (the hybrid engine's epoch loop) pass it in so freezing
+    "flows touching these links" is one matvec instead of a sparse
+    fancy-index per iteration.  Every incidence entry is a positive path
+    weight, so ``(at @ mask) > 0`` marks exactly the flows crossing a
+    masked link — the same set the sliced form computed.
+    """
+    n_links, n_flows = a.shape
+    if at is None:
+        at = a.T.tocsr()
     rates = np.zeros(n_flows)
     active = np.ones(n_flows, dtype=bool)
 
-    if n_links == 0:
-        # Degenerate: no links touched (empty paths) — everyone gets demand.
-        return {f.flow_id: f.demand for f in flows}
-
-    a = sparse.csr_matrix(
-        (vals, (rows, cols)), shape=(n_links, n_flows)
-    )
-    cap = np.zeros(n_links)
-    for link, idx in link_index.items():
-        cap[idx] = capacities[link]
-        if cap[idx] <= 0:
-            raise FlowSimError(f"link {link} has non-positive capacity")
+    dead = cap <= 1e-12
+    if dead.any():
+        blocked = np.asarray(at @ dead.astype(float)).ravel() > 0
+        active &= ~blocked
 
     # Progressive filling: all active flows share a common increment.
+    # ``load`` is carried across iterations: the value computed after a
+    # rate update is exactly the value the next iteration starts from.
+    load = a @ rates
     for _ in range(n_flows + n_links + 1):
         if not active.any():
             break
-        load = a @ rates
         active_weight = a @ active.astype(float)
         headroom = cap - load
         # Numerical guard: tiny negative headroom from float error.
@@ -138,14 +153,45 @@ def max_min_rates(
         load = a @ rates
         saturated = load >= cap - 1e-6 * np.maximum(cap, 1.0)
         if saturated.any():
-            touched = np.asarray(
-                (a[saturated].T @ np.ones(int(saturated.sum()))) > 0
-            ).ravel()
+            touched = np.asarray(at @ saturated.astype(float)).ravel() > 0
             active &= ~touched
         if increment <= 0:
             # No progress possible (all remaining flows blocked).
             break
+    return rates
 
+
+def max_min_rates(
+    flows: list[Flow],
+    capacities: dict[tuple[str, str], float],
+) -> dict[int, float]:
+    """Allocate max-min fair rates.
+
+    ``capacities`` maps *directed* links to bps.  Each flow's traffic is
+    split over its paths per the path weights (the split ratio is fixed —
+    it models the routing protocol, not the transport).  Returns
+    flow_id → achieved rate.
+
+    Raises :class:`FlowSimError` if a flow crosses a link that has no
+    capacity entry or whose capacity entry is non-positive (the
+    :class:`ResidualSolver` is the API that tolerates dead links).
+    """
+    if not flows:
+        return {}
+
+    a, link_index = _build_incidence(flows, capacities)
+    if not link_index:
+        # Degenerate: no links touched (empty paths) — everyone gets demand.
+        return {f.flow_id: f.demand for f in flows}
+
+    cap = np.zeros(len(link_index))
+    for link, idx in link_index.items():
+        cap[idx] = capacities[link]
+        if cap[idx] <= 0:
+            raise FlowSimError(f"link {link} has non-positive capacity")
+
+    demands = np.array([f.demand for f in flows])
+    rates = _waterfill(a, cap, demands)
     return {flow.flow_id: float(rates[i]) for i, flow in enumerate(flows)}
 
 
@@ -236,6 +282,7 @@ def _equal_rise_subflows(
     rows = [l for links in sub_links for l in links]
     cols = [s for s, links in enumerate(sub_links) for _ in links]
     a = sparse.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n_links, n_subs))
+    at = a.T.tocsr()
 
     flow_of = np.array(sub_flow)
     demands = np.array([f.demand for f in flows])
@@ -245,9 +292,7 @@ def _equal_rise_subflows(
     # Subflows whose path crosses an already-saturated link can never rise.
     zero_links = cap <= 1e-9
     if zero_links.any():
-        blocked = np.asarray(
-            (a[zero_links].T @ np.ones(int(zero_links.sum()))) > 0
-        ).ravel()
+        blocked = np.asarray(at @ zero_links.astype(float)).ravel() > 0
         active &= ~blocked
 
     for _ in range(n_subs + n_links + 1):
@@ -275,9 +320,7 @@ def _equal_rise_subflows(
         load = a @ sub_rates
         saturated = load >= cap - 1e-6 * np.maximum(cap, 1.0)
         if saturated.any():
-            touched = np.asarray(
-                (a[saturated].T @ np.ones(int(saturated.sum()))) > 0
-            ).ravel()
+            touched = np.asarray(at @ saturated.astype(float)).ravel() > 0
             active &= ~touched
         flow_totals = np.bincount(flow_of, weights=sub_rates, minlength=n_flows)
         satisfied = flow_totals >= demands - 1e-9
@@ -287,6 +330,197 @@ def _equal_rise_subflows(
 
     totals = np.bincount(flow_of, weights=sub_rates, minlength=n_flows)
     return {flow.flow_id: float(totals[i]) for i, flow in enumerate(flows)}
+
+
+@dataclass(frozen=True)
+class MaxMinSolution:
+    """One max-min solve: rates plus the per-link load/residual picture.
+
+    ``residual`` covers *every* link the solver knows a capacity for —
+    links no flow touches carry their full capacity, failed links carry
+    zero — so consumers (the hybrid engine) can index it blindly.
+    """
+
+    rates: dict[int, float]
+    link_load: dict[tuple[str, str], float]
+    residual: dict[tuple[str, str], float]
+
+
+class ResidualSolver:
+    """Incrementally re-solvable max-min allocator with residual output.
+
+    Owns a mutable copy of the capacity map and a mutable flow set.
+    Mutations are cheap bookkeeping; :meth:`solve` is lazy and caches at
+    two levels:
+
+    * the link × flow incidence survives capacity-only mutations
+      (``fail_link`` / ``repair_link`` / ``set_capacity``), so fault
+      churn re-runs only the water-filling loop;
+    * the full solution survives no-op calls (nothing changed since the
+      last solve returns the identical object).
+
+    Flows are ordered by ``flow_id`` when the incidence is built, so an
+    incremental re-solve is bit-identical to a from-scratch solve over
+    the same final state regardless of mutation order.
+
+    Two more caches keep the hybrid engine's epoch loop off the Python
+    floor: each flow's incidence entries (link rows + weights) are
+    computed once per flow and reused across rebuilds — a boundary that
+    adds or removes a handful of flows re-concatenates cached arrays
+    instead of re-walking every surviving flow's paths — and the
+    capacity vector is maintained in place by the mutators, so a solve
+    never loops over the capacity dict.  The link index covers the whole
+    base map in insertion order; rows no flow touches are inert in the
+    water-filling arithmetic, so rates stay bit-identical to
+    :func:`max_min_rates` over the first-touch index.
+    """
+
+    def __init__(self, capacities: dict[tuple[str, str], float]) -> None:
+        for link, cap in capacities.items():
+            if cap <= 0:
+                raise FlowSimError(f"link {link} has non-positive capacity")
+        self._base = dict(capacities)
+        self._caps = dict(capacities)
+        self._link_index = {link: i for i, link in enumerate(self._base)}
+        self._cap_vec = np.array(list(self._base.values()), dtype=float)
+        self._flows: dict[int, Flow] = {}
+        self._failed: set[tuple[str, str]] = set()
+        # Caches: per-flow incidence entries keyed to each flow (built
+        # lazily at solve so unknown-link errors surface there),
+        # incidence keyed to the flow set, solution to everything.
+        self._flow_entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._incidence: "tuple[sparse.csr_matrix, dict[tuple[str, str], int]] | None" = None
+        self._at: "sparse.csr_matrix | None" = None
+        self._solution: "MaxMinSolution | None" = None
+
+    # -- mutations ----------------------------------------------------------------
+
+    def add_flow(self, flow: Flow) -> None:
+        if flow.flow_id in self._flows:
+            raise FlowSimError(f"flow {flow.flow_id} already registered")
+        self._flows[flow.flow_id] = flow
+        self._incidence = None
+        self._at = None
+        self._solution = None
+
+    def remove_flow(self, flow_id: int) -> None:
+        if flow_id not in self._flows:
+            raise FlowSimError(f"flow {flow_id} not registered")
+        del self._flows[flow_id]
+        self._flow_entries.pop(flow_id, None)
+        self._incidence = None
+        self._at = None
+        self._solution = None
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Zero both directions of ``u — v`` (idempotent)."""
+        for link in ((u, v), (v, u)):
+            if link in self._base:
+                self._caps[link] = 0.0
+                self._cap_vec[self._link_index[link]] = 0.0
+                self._failed.add(link)
+        self._solution = None
+
+    def repair_link(self, u: str, v: str) -> None:
+        """Restore both directions of ``u — v`` to their base capacity."""
+        for link in ((u, v), (v, u)):
+            if link in self._base:
+                self._caps[link] = self._base[link]
+                self._cap_vec[self._link_index[link]] = self._base[link]
+                self._failed.discard(link)
+        self._solution = None
+
+    def set_capacity(self, u: str, v: str, capacity: float) -> None:
+        """Override one *directed* link's current capacity."""
+        if (u, v) not in self._base:
+            raise FlowSimError(f"unknown link {(u, v)}")
+        if capacity < 0:
+            raise FlowSimError(f"capacity must be non-negative, got {capacity}")
+        self._caps[(u, v)] = capacity
+        self._cap_vec[self._link_index[(u, v)]] = capacity
+        self._solution = None
+
+    # -- read side ----------------------------------------------------------------
+
+    @property
+    def flow_ids(self) -> list[int]:
+        return sorted(self._flows)
+
+    def capacity(self, u: str, v: str) -> float:
+        return self._caps[(u, v)]
+
+    def _entries_for(self, flow: Flow) -> tuple[np.ndarray, np.ndarray]:
+        """This flow's incidence entries (link rows, weights), cached.
+
+        Validates against the *base* link index: a flow may legitimately
+        cross a currently failed link (it gets rate zero), but a link
+        the fabric never had is an error — raised here, i.e. at solve
+        time, matching :func:`_build_incidence`.
+        """
+        entries = self._flow_entries.get(flow.flow_id)
+        if entries is None:
+            rows: list[int] = []
+            vals: list[float] = []
+            for wp in flow.paths:
+                if wp.weight == 0.0:
+                    continue
+                for link in _directed_links(wp.path):
+                    idx = self._link_index.get(link)
+                    if idx is None:
+                        raise FlowSimError(
+                            f"flow {flow.flow_id} uses unknown link {link}"
+                        )
+                    rows.append(idx)
+                    vals.append(wp.weight)
+            entries = (
+                np.asarray(rows, dtype=np.int64),
+                np.asarray(vals, dtype=np.float64),
+            )
+            self._flow_entries[flow.flow_id] = entries
+        return entries
+
+    def solve(self) -> MaxMinSolution:
+        if self._solution is not None:
+            return self._solution
+
+        flows = [self._flows[fid] for fid in sorted(self._flows)]
+        if self._incidence is None:
+            per_flow = [self._entries_for(f) for f in flows]
+            n_links = len(self._link_index)
+            if per_flow:
+                counts = [len(rows) for rows, _ in per_flow]
+                rows = np.concatenate([r for r, _ in per_flow])
+                vals = np.concatenate([v for _, v in per_flow])
+                cols = np.repeat(np.arange(len(flows)), counts)
+                a = sparse.csr_matrix(
+                    (vals, (rows, cols)), shape=(n_links, len(flows))
+                )
+            else:
+                a = sparse.csr_matrix((n_links, 0))
+            self._incidence = (a, self._link_index)
+            self._at = a.T.tocsr()
+        a, link_index = self._incidence
+
+        if flows and link_index:
+            demands = np.array([f.demand for f in flows])
+            rates_vec = _waterfill(a, self._cap_vec, demands, at=self._at)
+            load_vec = np.asarray(a @ rates_vec).ravel()
+        else:
+            rates_vec = np.array([f.demand for f in flows])
+            load_vec = np.zeros(len(link_index))
+
+        rates = {f.flow_id: float(rates_vec[i]) for i, f in enumerate(flows)}
+        link_load = {
+            link: float(load_vec[idx]) for link, idx in link_index.items()
+        }
+        residual = {
+            link: max(0.0, self._caps[link] - link_load[link])
+            for link in self._caps
+        }
+        self._solution = MaxMinSolution(
+            rates=rates, link_load=link_load, residual=residual
+        )
+        return self._solution
 
 
 def capacities_of(topo) -> dict[tuple[str, str], float]:

@@ -1,0 +1,154 @@
+"""Background traffic for the hybrid packet/flow engine.
+
+Background flows are the traffic whose *aggregate* effect matters but
+whose individual packets do not: long-lived shuffles, backup streams,
+the steady hum a production fabric carries underneath the latency-
+sensitive foreground.  The hybrid engine never simulates their packets —
+each flow is a demand that occupies fabric capacity between its start
+and stop times, solved at flow level
+(:class:`repro.flowsim.maxmin.ResidualSolver`) every time the active
+set changes.
+
+A :class:`BackgroundSchedule` is just the immutable list of those
+flows plus the derived epoch structure (the sorted start/stop times at
+which the flow-level solution can change).  The same schedule drives
+both hybrid mode (flows → demands) and the pure-packet oracle mode
+(flows → Poisson packet sources at the same bandwidth), which is what
+makes the accuracy gate an apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class HybridError(ValueError):
+    """Raised for malformed background flows or hybrid configurations."""
+
+
+@dataclass(frozen=True)
+class BackgroundFlow:
+    """One flow-level background demand: ``demand_bps`` from ``src`` to
+    ``dst`` over ``[start, stop)`` seconds of sim time."""
+
+    flow_id: int
+    src: str
+    dst: str
+    demand_bps: float
+    start: float
+    stop: float
+
+    def __post_init__(self) -> None:
+        if self.demand_bps <= 0:
+            raise HybridError(
+                f"background flow {self.flow_id} demand must be positive,"
+                f" got {self.demand_bps}"
+            )
+        if self.start < 0:
+            raise HybridError(
+                f"background flow {self.flow_id} starts at {self.start} < 0"
+            )
+        if self.stop <= self.start:
+            raise HybridError(
+                f"background flow {self.flow_id} stops at {self.stop},"
+                f" not after its start {self.start}"
+            )
+        if self.src == self.dst:
+            raise HybridError(
+                f"background flow {self.flow_id} sends {self.src!r} to itself"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+class BackgroundSchedule:
+    """An immutable set of background flows with unique ids."""
+
+    def __init__(self, flows: Sequence[BackgroundFlow] = ()) -> None:
+        self.flows: tuple[BackgroundFlow, ...] = tuple(flows)
+        seen: set[int] = set()
+        for flow in self.flows:
+            if flow.flow_id in seen:
+                raise HybridError(f"duplicate background flow id {flow.flow_id}")
+            seen.add(flow.flow_id)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[BackgroundFlow]:
+        return iter(self.flows)
+
+    def boundaries(self) -> list[float]:
+        """Sorted, de-duplicated epoch boundary times (starts and stops)."""
+        times = {f.start for f in self.flows} | {f.stop for f in self.flows}
+        return sorted(times)
+
+    def active_at(self, time: float) -> list[BackgroundFlow]:
+        """Flows whose ``[start, stop)`` interval contains ``time``."""
+        return [f for f in self.flows if f.start <= time < f.stop]
+
+    def peak_concurrency(self) -> int:
+        """Maximum number of simultaneously active flows.
+
+        A sorted +1/−1 event sweep; stops sort before starts at the same
+        instant, matching the half-open ``[start, stop)`` intervals.
+        """
+        events = sorted(
+            [(f.start, 1) for f in self.flows]
+            + [(f.stop, -1) for f in self.flows]
+        )
+        peak = current = 0
+        for _, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+
+def random_background_schedule(
+    servers: Sequence[str],
+    n_flows: int,
+    *,
+    horizon: float,
+    mean_duration: float,
+    demand_bps: float,
+    seed: int = 0,
+    flow_id_base: int = 1_000_000,
+) -> BackgroundSchedule:
+    """A reproducible random schedule over the given servers.
+
+    Starts are uniform over ``[0, horizon)``, durations exponential with
+    the given mean (clipped below so every flow lives at least one
+    microsecond), endpoints uniform distinct server pairs.  Flow ids
+    start at ``flow_id_base`` (high, so they never collide with
+    foreground flow ids).  Everything is drawn from one seeded
+    generator, so the same arguments always yield the same schedule.
+    """
+    if n_flows < 0:
+        raise HybridError(f"flow count must be non-negative, got {n_flows}")
+    if len(servers) < 2:
+        raise HybridError("need at least two servers for background traffic")
+    if horizon <= 0:
+        raise HybridError(f"horizon must be positive, got {horizon}")
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0.0, horizon, n_flows)
+    durations = np.maximum(rng.exponential(mean_duration, n_flows), 1e-6)
+    src_idx = rng.integers(0, len(servers), n_flows)
+    # Distinct destination: offset by 1..len-1 modulo the server count.
+    dst_off = rng.integers(1, len(servers), n_flows)
+    flows = [
+        BackgroundFlow(
+            flow_id=flow_id_base + i,
+            src=servers[int(src_idx[i])],
+            dst=servers[int((src_idx[i] + dst_off[i]) % len(servers))],
+            demand_bps=demand_bps,
+            start=float(starts[i]),
+            stop=float(starts[i] + durations[i]),
+        )
+        for i in range(n_flows)
+    ]
+    return BackgroundSchedule(flows)

@@ -1,0 +1,305 @@
+"""The hybrid packet/flow co-simulation engine.
+
+:class:`HybridNetwork` runs the packet simulator for *foreground*
+traffic only, and carries *background* traffic at flow level as
+time-varying residual capacity:
+
+* the engine tiles sim time into **epochs** — maximal intervals over
+  which the active background-flow set and the fault state are both
+  constant.  Epoch boundaries are the background schedule's start/stop
+  times plus any ``fail_link`` / ``repair_link`` call;
+* at each boundary the flow-level allocator
+  (:class:`repro.flowsim.maxmin.ResidualSolver`) re-solves max-min fair
+  rates for the active background flows — incrementally when only
+  capacities changed — and hands back per-link **residuals**
+  (capacity − background load);
+* the packet side consumes residuals by rescaling each directed link's
+  serialization factor (``ser = 8 / residual``): foreground packets
+  serialize as if the link were narrower by exactly the bandwidth the
+  background occupies.  Compiled :class:`~repro.sim.fastpath.HopPlan`
+  and stacked-plan caches are cleared whenever any link's residual
+  changes, the same invalidation discipline ``fail_link`` uses, so the
+  fast path and the batched engine stay hot *within* an epoch and
+  recompile lazily after one;
+* the epoch-boundary callback sits in the event queue, so the batched
+  engine's lookahead (``engine.peek_time``) structurally prevents any
+  vectorized cohort commit from crossing a boundary.
+
+Approximations (see API.md for the full contract): background flows are
+fluid (no background packets, no background queueing jitter), foreground
+packets already in flight keep the serialization they started with
+(epoch changes apply to packets injected afterwards), and background
+flows do not re-path on repair (only on failure of a link they cross).
+
+With the hybrid knob disabled (``REPRO_HYBRID_DISABLE=1``, or
+``hybrid=False``) the same class becomes the **pure-packet oracle**:
+every background flow materializes as a Poisson packet source at its
+demand bandwidth and the fabric simulates all packets.  The oracle is
+the accuracy baseline ``bench_hybrid_scale`` gates against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.flowsim.maxmin import Flow, ResidualSolver, capacities_of
+from repro.hybrid.background import BackgroundFlow, BackgroundSchedule, HybridError
+from repro.routing.base import Router, RoutingError
+from repro.sim.network import Network
+from repro.sim.sources import PoissonSource
+from repro.topology.base import Topology
+from repro.units import BITS_PER_BYTE
+
+#: Floor on a link's effective (residual) capacity, as a fraction of its
+#: physical capacity.  Max-min can drive a residual to exactly zero,
+#: which would stall foreground serialization forever; real transports
+#: never let background traffic fully starve a link.
+DEFAULT_MIN_RESIDUAL_FRACTION = 0.01
+
+#: Flow-stats group under which oracle-mode background packets report.
+BACKGROUND_GROUP = "background"
+
+#: "No route" surfaces as RoutingError from the router's own checks or
+#: as a networkx error when the underlying graph search finds the pair
+#: partitioned — background admission treats both as "park the flow".
+_NO_ROUTE = (RoutingError, nx.NetworkXNoPath, nx.NodeNotFound)
+
+
+class HybridNetwork(Network):
+    """A :class:`~repro.sim.network.Network` with flow-level background.
+
+    ``background`` is the schedule of flow-level demands; foreground
+    traffic is injected exactly as on a plain network (``send``,
+    ``send_cohort``, traffic sources).  The ``hybrid`` knob (resolved by
+    the base class from the argument and ``REPRO_HYBRID_DISABLE``)
+    selects the mode:
+
+    * **hybrid** (default): background rides the residual-capacity
+      handoff described in the module docstring;
+    * **oracle** (knob off): background materializes as per-flow
+      Poisson packet sources — every packet simulated, group
+      ``"background"`` so foreground stats stay separable.
+
+    ``min_residual_fraction`` floors each link's effective capacity;
+    ``record_timeline`` keeps the per-epoch residual timeline in
+    :attr:`residual_timeline` (disable for the largest runs).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        router: Router,
+        background: "BackgroundSchedule | Sequence[BackgroundFlow] | None" = None,
+        *,
+        min_residual_fraction: float = DEFAULT_MIN_RESIDUAL_FRACTION,
+        record_timeline: bool = True,
+        background_packet_bytes: float = 1500.0,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(topo, router, **kwargs)  # type: ignore[arg-type]
+        if not 0.0 < min_residual_fraction < 1.0:
+            raise HybridError(
+                "min_residual_fraction must be in (0, 1),"
+                f" got {min_residual_fraction}"
+            )
+        if background is None:
+            background = BackgroundSchedule(())
+        elif not isinstance(background, BackgroundSchedule):
+            background = BackgroundSchedule(background)
+        self.background = background
+        self.min_residual_fraction = min_residual_fraction
+        self.record_timeline = record_timeline
+        self.background_packet_bytes = background_packet_bytes
+        #: Epoch boundaries processed so far (fault epochs included).
+        self.epochs = 0
+        #: Residual re-applications that actually changed a link.
+        self.residual_epoch = 0
+        #: Background flows skipped because no route existed when they
+        #: started (or when a failure forced a re-path).
+        self.background_unroutable = 0
+        #: ``[(time, {directed link: new effective capacity})]`` — one
+        #: entry per epoch that changed at least one link.
+        self.residual_timeline: list[tuple[float, dict[tuple[str, str], float]]] = []
+        #: Oracle-mode packet sources (empty in hybrid mode).
+        self.background_sources: list[PoissonSource] = []
+
+        self._solver: ResidualSolver | None = None
+        # flow_id → (BackgroundFlow, fluid Flow with its current paths).
+        self._active_bg: dict[int, tuple[BackgroundFlow, Flow]] = {}
+        # Started flows that currently have no route (re-admitted on repair).
+        self._parked_bg: dict[int, BackgroundFlow] = {}
+
+        if self.hybrid_enabled:
+            self._solver = ResidualSolver(capacities_of(topo))
+            self._schedule_epoch_boundaries()
+        else:
+            self._materialize_oracle_sources()
+
+    # -- epoch machinery (hybrid mode) ---------------------------------------------
+
+    def _schedule_epoch_boundaries(self) -> None:
+        """Queue one boundary callback per distinct start/stop time."""
+        events: dict[float, tuple[list, list]] = {}
+        for flow in self.background:
+            events.setdefault(flow.start, ([], []))[0].append(flow)
+            events.setdefault(flow.stop, ([], []))[1].append(flow)
+        self.engine.call_at_many(
+            (time, self._epoch_boundary, (starts, stops))
+            for time, (starts, stops) in sorted(events.items())
+        )
+
+    def _epoch_boundary(
+        self, starts: list[BackgroundFlow], stops: list[BackgroundFlow]
+    ) -> None:
+        solver = self._solver
+        for flow in stops:
+            if flow.flow_id in self._active_bg:
+                solver.remove_flow(flow.flow_id)
+                del self._active_bg[flow.flow_id]
+            self._parked_bg.pop(flow.flow_id, None)
+        for flow in starts:
+            self._admit(flow)
+        self._apply_residuals()
+
+    def _admit(self, flow: BackgroundFlow) -> None:
+        """Add one background flow to the solver over its current routes."""
+        try:
+            paths = tuple(self.router.weighted_paths(flow.src, flow.dst))
+        except _NO_ROUTE:
+            paths = ()
+        if not paths:
+            self.background_unroutable += 1
+            self._parked_bg[flow.flow_id] = flow
+            return
+        fluid = Flow(flow.flow_id, paths, flow.demand_bps)
+        self._solver.add_flow(fluid)
+        self._active_bg[flow.flow_id] = (flow, fluid)
+
+    def _apply_residuals(self) -> None:
+        """Re-solve and push residuals into the packet side's link records.
+
+        A link's effective capacity is ``max(residual, floor)``; only
+        links whose effective capacity moved are rewritten, and the
+        compiled-plan caches are cleared only when at least one moved —
+        an epoch that resolves to the same allocation costs nothing on
+        the packet side.
+        """
+        solution = self._solver.solve()
+        residual = solution.residual
+        floor_frac = self.min_residual_fraction
+        link_rec = self._link_rec
+        changed: dict[tuple[str, str], float] = {}
+        for key, rec in link_rec.items():
+            base = self._capacity[key]
+            eff = residual.get(key, base)
+            floor = floor_frac * base
+            if eff < floor:
+                eff = floor
+            if eff != rec[2]:
+                link_rec[key] = (BITS_PER_BYTE / eff, rec[1], eff)
+                changed[key] = eff
+        self.epochs += 1
+        if changed:
+            # Same invalidation fail_link performs: stale per-path plans
+            # (and their per-size product caches) must not survive a
+            # serialization change.  Packets already in flight keep the
+            # plan they started with — the documented approximation.
+            self._plans.clear()
+            self._stacked.clear()
+            self.residual_epoch += 1
+            if self.record_timeline:
+                self.residual_timeline.append((self.engine.now, changed))
+
+    # -- faults mutate the epoch too -----------------------------------------------
+
+    def fail_link(self, u: str, v: str) -> int:
+        already_dead = (u, v) in self._dead_links
+        dropped = super().fail_link(u, v)
+        if self._solver is not None and not already_dead:
+            self._solver.fail_link(u, v)
+            # Background flows crossing the cut re-path like foreground
+            # packets detour; flows not crossing it keep their paths, so
+            # the solver's incidence survives and the re-solve is the
+            # cheap capacity-only incremental case.
+            dead = {(u, v), (v, u)}
+            for fid in [
+                fid
+                for fid, (_, fluid) in self._active_bg.items()
+                if _crosses(fluid, dead)
+            ]:
+                bg, _ = self._active_bg.pop(fid)
+                self._solver.remove_flow(fid)
+                self._admit(bg)
+            self._apply_residuals()
+        return dropped
+
+    def repair_link(self, u: str, v: str) -> bool:
+        repaired = super().repair_link(u, v)
+        if self._solver is not None and repaired:
+            self._solver.repair_link(u, v)
+            # Parked flows (no route at start or after a cut) get another
+            # chance; flows with routes keep them — no re-path on repair.
+            now = self.engine.now
+            for fid in sorted(self._parked_bg):
+                flow = self._parked_bg[fid]
+                if flow.stop > now:
+                    try:
+                        paths = tuple(
+                            self.router.weighted_paths(flow.src, flow.dst)
+                        )
+                    except _NO_ROUTE:
+                        continue
+                    if paths:
+                        del self._parked_bg[fid]
+                        fluid = Flow(fid, paths, flow.demand_bps)
+                        self._solver.add_flow(fluid)
+                        self._active_bg[fid] = (flow, fluid)
+            self._apply_residuals()
+        return repaired
+
+    # -- oracle mode -----------------------------------------------------------------
+
+    def _materialize_oracle_sources(self) -> None:
+        """Background flows as packet sources: the pure-packet baseline."""
+        for flow in self.background:
+            source = PoissonSource.at_bandwidth(
+                self,
+                flow.src,
+                flow.dst,
+                flow.demand_bps,
+                size_bytes=self.background_packet_bytes,
+                group=BACKGROUND_GROUP,
+                flow_id=flow.flow_id,
+                seed=flow.flow_id,
+                stop_at=flow.stop,
+            )
+            source.start(delay=flow.start)
+            self.background_sources.append(source)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def active_background(self) -> list[int]:
+        """Ids of background flows currently in the solver, sorted."""
+        return sorted(self._active_bg)
+
+    def background_rates(self) -> dict[int, float]:
+        """Current max-min rate of each active background flow (bps)."""
+        if self._solver is None:
+            raise HybridError("background rates exist only in hybrid mode")
+        solution = self._solver.solve()
+        return {fid: solution.rates[fid] for fid in self._active_bg}
+
+    def effective_capacity(self, u: str, v: str) -> float:
+        """The capacity foreground packets currently see on ``u → v``."""
+        return self._link_rec[(u, v)][2]
+
+
+def _crosses(fluid: Flow, dead: set[tuple[str, str]]) -> bool:
+    return any(
+        (wp.path[i], wp.path[i + 1]) in dead
+        for wp in fluid.paths
+        for i in range(len(wp.path) - 1)
+    )

@@ -16,6 +16,7 @@ Usage::
 """
 
 from repro.runner.pool import (
+    SHORT_SWEEP_CELLS_PER_WORKER,
     ExperimentSpec,
     RunnerError,
     default_workers,
@@ -23,6 +24,7 @@ from repro.runner.pool import (
 )
 
 __all__ = [
+    "SHORT_SWEEP_CELLS_PER_WORKER",
     "ExperimentSpec",
     "RunnerError",
     "default_workers",

@@ -68,10 +68,17 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+#: Below this many cells *per worker* a sweep counts as short: IPC and
+#: per-worker cache warm-up dominate, so cells are dealt out as one
+#: contiguous chunk per worker instead of four.
+SHORT_SWEEP_CELLS_PER_WORKER = 8
+
+
 def run_cells(
     cells: Sequence[ExperimentSpec],
     workers: int | None = 1,
     chunksize: int | None = None,
+    warmup: Callable[[], Any] | None = None,
 ) -> list[Any]:
     """Run every cell and return their results in input order.
 
@@ -82,9 +89,23 @@ def run_cells(
     serial run (see the module docstring for the purity contract).
 
     ``chunksize`` batches cells per pickling round-trip so large sweeps
-    do not pay per-cell IPC overhead; ``None`` picks roughly four
-    chunks per worker.  Batching only changes scheduling granularity —
-    ``map`` still yields results in submission order.
+    do not pay per-cell IPC overhead.  ``None`` picks roughly four
+    chunks per worker, except for short sweeps (fewer than
+    ``SHORT_SWEEP_CELLS_PER_WORKER`` cells per worker), which get one
+    contiguous chunk per worker: callers lay out grids major-axis first
+    (topology, then parameters), so contiguous chunks keep cells that
+    share expensive construction on the same worker's in-process caches,
+    and a short sweep pays one pickling round-trip per worker instead of
+    four.  The trade is load balancing, which only pays off when there
+    are enough cells to rebalance — exactly what a short sweep lacks.
+    Batching only changes scheduling granularity — ``map`` still yields
+    results in submission order.
+
+    ``warmup`` (picklable, zero-arg) runs once in each worker as it
+    starts, before any cell: use it to pre-build state every cell needs
+    (imports, topology construction) so spin-up cost lands in the pool
+    initializer instead of inflating the first cell of every worker.
+    Its return value is discarded; it must not affect cell results.
 
     Workers inherit the parent's cache configuration through the pool
     initializer, so with ``REPRO_CACHE_DIR`` set every worker reads and
@@ -102,23 +123,32 @@ def run_cells(
     if workers is None:
         workers = default_workers()
     if workers == 1 or len(cells) <= 1:
+        if warmup is not None:
+            warmup()
         return [cell.run() for cell in cells]
     workers = min(workers, len(cells))
     if chunksize is None:
-        chunksize = max(1, len(cells) // (workers * 4))
+        if len(cells) < workers * SHORT_SWEEP_CELLS_PER_WORKER:
+            chunksize = -(-len(cells) // workers)  # ceil: one chunk/worker
+        else:
+            chunksize = max(1, len(cells) // (workers * 4))
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(artifact_cache().config,),
+        initargs=(artifact_cache().config, warmup),
     ) as pool:
         # ``map`` yields results in submission order — completion order
         # never leaks into the output.
         return list(pool.map(_run_spec, cells, chunksize=chunksize))
 
 
-def _worker_init(cache_config: CacheConfig) -> None:
+def _worker_init(
+    cache_config: CacheConfig, warmup: Callable[[], Any] | None = None
+) -> None:
     """Adopt the parent's cache settings (shared disk store) in a worker."""
     configure(cache_config)
+    if warmup is not None:
+        warmup()
 
 
 def _run_spec(spec: ExperimentSpec) -> Any:

@@ -10,6 +10,7 @@ sources used in Sections 6 and 7.
 
 from repro.sim.engine import BucketScheduler, Engine, Event, SimulationError
 from repro.sim.fastpath import FASTPATH_ENV, HopPlan, compile_plan
+from repro.sim.knobs import HYBRID_ENV, env_truthy, resolve_flag
 from repro.sim.faults import (
     FaultInjectionError,
     FaultInjector,
@@ -52,6 +53,9 @@ __all__ = [
     "BurstSource",
     "CCS",
     "FASTPATH_ENV",
+    "HYBRID_ENV",
+    "env_truthy",
+    "resolve_flag",
     "HopPlan",
     "compile_plan",
     "DEFAULT_PACKET_BYTES",

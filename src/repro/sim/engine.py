@@ -342,7 +342,9 @@ class Engine:
 
         Specialized like :meth:`call_at`: the entry is built and pushed
         inline (no delegation through :meth:`schedule_at`), so the only
-        cost over the fire-and-forget path is the :class:`Event` handle.
+        cost over the fire-and-forget path is the :class:`Event` handle —
+        and that handle is built with ``__new__`` plus direct slot
+        stores, skipping the ``__init__`` dispatch.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
@@ -353,7 +355,11 @@ class Engine:
             heapq.heappush(heap, entry)
         else:
             self._sched.push(entry)
-        return Event(entry, self)
+        event = Event.__new__(Event)
+        event.cancelled = False
+        event._entry = entry
+        event._engine = self
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -370,7 +376,11 @@ class Engine:
             heapq.heappush(heap, entry)
         else:
             self._sched.push(entry)
-        return Event(entry, self)
+        event = Event.__new__(Event)
+        event.cancelled = False
+        event._entry = entry
+        event._engine = self
+        return event
 
     def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule_at`: no :class:`Event` handle.

@@ -23,7 +23,6 @@ saturation in Figure 20).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -40,6 +39,7 @@ from repro.sim.fastpath import (
     compile_plan,
     stack_plan,
 )
+from repro.sim.knobs import HYBRID_ENV, resolve_flag
 from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.telemetry.windows import TelemetryConfig, TelemetryHub, resolve_config
@@ -148,6 +148,7 @@ class Network:
         fastpath: bool | None = None,
         batch: bool | None = None,
         telemetry: "TelemetryConfig | bool | None" = None,
+        hybrid: bool | None = None,
     ) -> None:
         """``buffer_bytes`` bounds each output port's queue: a packet
         arriving to a port whose backlog would exceed the buffer is
@@ -183,7 +184,17 @@ class Network:
         bit-identical with it on or off — but armed monitors need to
         see every packet at every hop, so cohort batching stands down
         (``batch_enabled`` stays ``False``) exactly as it does for
-        bounded buffers; the compiled fast path keeps running."""
+        bounded buffers; the compiled fast path keeps running.
+
+        ``hybrid`` resolves the hybrid packet/flow knob
+        (:mod:`repro.hybrid`): a plain :class:`Network` only records the
+        resolved value in ``hybrid_enabled``; a
+        :class:`~repro.hybrid.HybridNetwork` consults it to decide
+        whether background flows ride the flow-level residual-capacity
+        handoff (enabled) or materialize as packet sources — the
+        pure-packet oracle (disabled).  The default (``None``) follows
+        the ``REPRO_HYBRID_DISABLE`` environment variable; an explicit
+        ``False`` wins over the environment, like every other knob."""
         if buffer_bytes is not None and buffer_bytes <= 0:
             raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
         self.topo = topo
@@ -242,15 +253,13 @@ class Network:
             self._hop_rec[switch] = (model.cut_through, model.latency)
         for server in topo.servers():
             self._hop_rec[server] = (False, server_forward_latency)
-        if fastpath is None:
-            fastpath = os.environ.get(FASTPATH_ENV, "0") in ("", "0")
         #: Whether injections walk compiled plans (read-only after init).
-        self.fastpath_enabled = fastpath
+        self.fastpath_enabled = resolve_flag(
+            fastpath, FASTPATH_ENV, env_disables=True
+        )
         # Compiled forwarding plans, one per unique path; cleared by
         # fail_link/repair_link so fault churn cannot grow a stale cache.
         self._plans: dict[Path, HopPlan] = {}
-        if batch is None:
-            batch = os.environ.get(BATCH_ENV, "0") in ("", "0")
         #: Whether cohort injections may commit vectorized (read-only
         #: after init).  Requires the fast path (the stacked plans are
         #: compiled from HopPlans), unbounded buffers (the backlog
@@ -258,11 +267,15 @@ class Network:
         #: elides), and disarmed telemetry (monitors observe per-packet
         #: queue state the vectorized commit never materializes).
         self.batch_enabled = (
-            bool(batch)
+            resolve_flag(batch, BATCH_ENV, env_disables=True)
             and self.fastpath_enabled
             and buffer_bytes is None
             and self.telemetry is None
         )
+        #: Resolved ``hybrid=`` knob; consulted by
+        #: :class:`repro.hybrid.HybridNetwork` (a plain network never
+        #: reads it back).
+        self.hybrid_enabled = resolve_flag(hybrid, HYBRID_ENV, env_disables=True)
         # Stacked (vectorized) twins of ``_plans``, same invalidation.
         self._stacked: dict[Path, StackedPlan] = {}
 

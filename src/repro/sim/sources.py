@@ -24,7 +24,6 @@ without changing results.
 
 from __future__ import annotations
 
-import os
 import random
 from typing import Callable, Sequence
 
@@ -32,6 +31,7 @@ import numpy as np
 
 from repro.routing.base import RoutingError
 from repro.sim.fastpath import FASTPATH_ENV
+from repro.sim.knobs import env_truthy
 from repro.sim.network import Network, Packet
 from repro.units import BITS_PER_BYTE
 
@@ -96,8 +96,7 @@ class PoissonSource:
         if rate_pps <= 0:
             raise SourceError(f"rate must be positive, got {rate_pps}")
         if chunk is None:
-            disabled = os.environ.get(FASTPATH_ENV, "0") not in ("", "0")
-            chunk = 1 if disabled else DEFAULT_CHUNK
+            chunk = 1 if env_truthy(FASTPATH_ENV) else DEFAULT_CHUNK
         if chunk < 1:
             raise SourceError(f"chunk must be at least 1, got {chunk}")
         self.network = network

@@ -3,9 +3,10 @@
 CI needs an early warning when a change shifts simulation results —
 tier-1 tests check invariants, but a silent change to packet timing,
 routing picks, or fault handling can pass every invariant while
-producing different numbers.  This module runs two small, seeded cells
-(one Figure 17 latency cell, one fault-recovery cell), extracts their
-key metrics, and diffs them against a golden JSON checked into
+producing different numbers.  This module runs three small, seeded
+cells (one Figure 17 latency cell, one fault-recovery cell, one hybrid
+packet/flow cell), extracts their key metrics, and diffs them against
+a golden JSON checked into
 ``tests/golden/``.  Any drift fails ``python -m repro smoke --check``
 — and with it the CI benchmark-smoke job.
 
@@ -48,12 +49,16 @@ RUNTIME_PREFIX = "runtime."
 
 
 def compute_smoke_metrics() -> dict[str, Any]:
-    """Run the two smoke cells and flatten their key metrics.
+    """Run the three smoke cells and flatten their key metrics.
 
-    Deliberately small: one Figure 17 scatter cell and one
-    fault-recovery cell, a few seconds end to end.
+    Deliberately small: one Figure 17 scatter cell, one fault-recovery
+    cell, and one hybrid packet/flow cell, a few seconds end to end.
     """
-    from repro.experiments import run_fault_recovery_cell, run_task_experiment
+    from repro.experiments import (
+        run_fault_recovery_cell,
+        run_hybrid_scale_cell,
+        run_task_experiment,
+    )
 
     fig17 = run_task_experiment(
         "quartz in edge and core", "scatter", 1, fan=4, duration=0.002, seed=0
@@ -71,9 +76,37 @@ def compute_smoke_metrics() -> dict[str, Any]:
         warmup=0.0003,
         bin_width=0.0001,
     )
+    # The hybrid cell pins the residual handoff itself, so the knob is
+    # forced on for its duration: unlike the fastpath/batch loops, the
+    # hybrid and oracle modes are *not* bit-identical (that difference
+    # is the accuracy gate's whole subject), and the golden must not
+    # depend on which CI matrix leg runs the smoke check.
+    import os
+
+    from repro.sim.knobs import HYBRID_ENV
+
+    saved_hybrid = os.environ.pop(HYBRID_ENV, None)
+    try:
+        hybrid = run_hybrid_scale_cell(
+            fabric="quartz-ring-small",
+            mode="hybrid",
+            n_background=20,
+            fg_fan=4,
+            duration=0.002,
+            seed=0,
+        )
+    finally:
+        if saved_hybrid is not None:
+            os.environ[HYBRID_ENV] = saved_hybrid
     return {
         "fig17.mean_latency_us": fig17.mean_latency * 1e6,
         "fig17.packets": fig17.summary.count,
+        "hybrid.fg_mean_latency_us": hybrid.fg_mean * 1e6,
+        "hybrid.fg_packets": hybrid.foreground.count,
+        "hybrid.epochs": hybrid.epochs,
+        "hybrid.residual_epochs": hybrid.residual_epochs,
+        "hybrid.packets_delivered": hybrid.packets_delivered,
+        "hybrid.background_peak": hybrid.background_peak,
         "fault.channels_severed": fault.channels_severed,
         "fault.packets_delivered": fault.packets_delivered,
         "fault.packets_dropped": fault.packets_dropped,
@@ -93,7 +126,7 @@ def compute_telemetry_smoke_metrics(
 
     Two parts, one golden:
 
-    * the **same** two smoke cells re-run with ``REPRO_TELEMETRY=1``
+    * the **same** three smoke cells re-run with ``REPRO_TELEMETRY=1``
       armed for the duration — because telemetry is strictly
       observational, every base metric must match the telemetry-off
       golden bit for bit (drift here means telemetry perturbed packet

@@ -33,7 +33,6 @@ time" structurally.
 from __future__ import annotations
 
 import math
-import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -81,8 +80,11 @@ class TelemetryConfig:
 
 def telemetry_env_enabled(environ: "dict[str, str] | None" = None) -> bool:
     """Whether :data:`TELEMETRY_ENV` requests telemetry by default."""
-    env = os.environ if environ is None else environ
-    return env.get(TELEMETRY_ENV, "0") not in ("", "0")
+    # Imported lazily: repro.sim.network imports this module at the top
+    # level, so a module-level import of repro.sim here would be a cycle.
+    from repro.sim.knobs import env_truthy
+
+    return env_truthy(TELEMETRY_ENV, environ)
 
 
 def resolve_config(
@@ -90,16 +92,18 @@ def resolve_config(
 ) -> "TelemetryConfig | None":
     """Resolve the ``Network(telemetry=...)`` argument to a config.
 
-    ``None`` follows :data:`TELEMETRY_ENV` (the escape-hatch pattern the
-    fastpath and batch knobs use); ``True`` arms the defaults; ``False``
-    forces telemetry off regardless of the environment; a
-    :class:`TelemetryConfig` is used as given.
+    ``None`` follows :data:`TELEMETRY_ENV` via the shared knob helper
+    (:func:`repro.sim.knobs.resolve_flag`, in its env-*enables* sense —
+    telemetry is the one knob that defaults off); ``True`` arms the
+    defaults; ``False`` forces telemetry off regardless of the
+    environment; a :class:`TelemetryConfig` is used as given.
     """
     if isinstance(telemetry, TelemetryConfig):
         return telemetry
-    if telemetry is None:
-        telemetry = telemetry_env_enabled()
-    return TelemetryConfig() if telemetry else None
+    from repro.sim.knobs import resolve_flag
+
+    armed = resolve_flag(telemetry, TELEMETRY_ENV, env_disables=False)
+    return TelemetryConfig() if armed else None
 
 
 @dataclass

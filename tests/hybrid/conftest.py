@@ -1,0 +1,18 @@
+"""Shared fixtures for the hybrid engine tests.
+
+CI runs the whole suite once with ``REPRO_HYBRID_DISABLE=1`` to prove
+the escape hatch is a complete exit.  The tests in this package pin
+*hybrid-mode* behavior specifically (residual handoff, epoch caching,
+fluid rates), so they must see the knob at its default regardless of
+the outer matrix leg — the same convention the fastpath and batch
+tests follow for their disable knobs.  Tests that exercise the hatch
+itself (``test_env_escape_hatch``) set the variable explicitly on top
+of this fixture.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hybrid_knob_default(monkeypatch):
+    monkeypatch.delenv("REPRO_HYBRID_DISABLE", raising=False)

@@ -1,0 +1,106 @@
+"""Background flow/schedule model tests."""
+
+import pytest
+
+from repro.hybrid import (
+    BackgroundFlow,
+    BackgroundSchedule,
+    HybridError,
+    random_background_schedule,
+)
+
+
+def bg(fid, start=0.0, stop=1.0, demand=1e9):
+    return BackgroundFlow(fid, "a", "b", demand, start, stop)
+
+
+class TestBackgroundFlow:
+    def test_duration(self):
+        assert bg(0, 1.0, 3.5).duration == 2.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"demand": 0.0},
+            {"demand": -1.0},
+            {"start": -0.5},
+            {"start": 2.0, "stop": 2.0},
+            {"start": 2.0, "stop": 1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(HybridError):
+            bg(0, **kwargs)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(HybridError):
+            BackgroundFlow(0, "a", "a", 1e9, 0.0, 1.0)
+
+
+class TestSchedule:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(HybridError):
+            BackgroundSchedule([bg(1), bg(1)])
+
+    def test_boundaries_sorted_unique(self):
+        sched = BackgroundSchedule([bg(0, 0.0, 2.0), bg(1, 1.0, 2.0)])
+        assert sched.boundaries() == [0.0, 1.0, 2.0]
+
+    def test_active_at_half_open(self):
+        sched = BackgroundSchedule([bg(0, 1.0, 2.0)])
+        assert sched.active_at(0.5) == []
+        assert [f.flow_id for f in sched.active_at(1.0)] == [0]
+        assert sched.active_at(2.0) == []  # stop is exclusive
+
+    def test_peak_concurrency(self):
+        sched = BackgroundSchedule(
+            [bg(0, 0.0, 3.0), bg(1, 1.0, 2.0), bg(2, 1.5, 2.5)]
+        )
+        assert sched.peak_concurrency() == 3
+
+
+class TestRandomSchedule:
+    SERVERS = [f"h{i}" for i in range(8)]
+
+    def test_deterministic(self):
+        a = random_background_schedule(
+            self.SERVERS, 20, horizon=1e-3, mean_duration=5e-4,
+            demand_bps=1e9, seed=7,
+        )
+        b = random_background_schedule(
+            self.SERVERS, 20, horizon=1e-3, mean_duration=5e-4,
+            demand_bps=1e9, seed=7,
+        )
+        assert [(f.src, f.dst, f.start, f.stop) for f in a] == [
+            (f.src, f.dst, f.start, f.stop) for f in b
+        ]
+
+    def test_seed_changes_schedule(self):
+        a = random_background_schedule(
+            self.SERVERS, 20, horizon=1e-3, mean_duration=5e-4,
+            demand_bps=1e9, seed=7,
+        )
+        b = random_background_schedule(
+            self.SERVERS, 20, horizon=1e-3, mean_duration=5e-4,
+            demand_bps=1e9, seed=8,
+        )
+        assert [(f.src, f.start) for f in a] != [(f.src, f.start) for f in b]
+
+    def test_flows_well_formed(self):
+        sched = random_background_schedule(
+            self.SERVERS, 50, horizon=1e-3, mean_duration=5e-4,
+            demand_bps=2e9, seed=3,
+        )
+        assert len(sched) == 50
+        for f in sched:
+            assert f.src != f.dst
+            assert f.src in self.SERVERS and f.dst in self.SERVERS
+            assert 0.0 <= f.start < 1e-3
+            assert f.stop > f.start
+            assert f.flow_id >= 1_000_000
+
+    def test_needs_two_servers(self):
+        with pytest.raises(HybridError):
+            random_background_schedule(
+                ["h0"], 5, horizon=1.0, mean_duration=0.5, demand_bps=1e9
+            )
