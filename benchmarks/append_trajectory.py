@@ -1,0 +1,77 @@
+"""Append the current ``BENCH_simulator.json`` to the perf trajectory.
+
+``benchmarks/results/BENCH_simulator.json`` is a single overwritten
+snapshot — each benchmark run merges its headline metrics into it, and
+the previous run's numbers are gone.  This script turns that snapshot
+into history: one JSON line per run, stamped with the commit and time,
+appended to the committed ``benchmarks/results/BENCH_trajectory.jsonl``.
+The CI benchmark-perf job runs it after the perf suite; run it locally
+after a bench session to record the tree you measured.
+
+Re-running on the same commit *replaces* that commit's last entry
+instead of stacking duplicates, so iterating on a bench locally keeps
+one line per tree state.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/append_trajectory.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SNAPSHOT = RESULTS_DIR / "BENCH_simulator.json"
+TRAJECTORY = RESULTS_DIR / "BENCH_trajectory.jsonl"
+
+
+def current_commit() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    if not SNAPSHOT.exists():
+        print(f"no snapshot at {SNAPSHOT}; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    metrics = json.loads(SNAPSHOT.read_text())
+    entry = {
+        "commit": current_commit(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "metrics": metrics,
+    }
+    lines = []
+    if TRAJECTORY.exists():
+        lines = [
+            line for line in TRAJECTORY.read_text().splitlines() if line.strip()
+        ]
+    if lines and json.loads(lines[-1]).get("commit") == entry["commit"]:
+        lines.pop()
+    lines.append(json.dumps(entry, sort_keys=True))
+    TRAJECTORY.write_text("\n".join(lines) + "\n")
+    print(f"trajectory: {len(lines)} entries, latest {entry['commit'][:12]} "
+          f"({len(metrics)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,7 @@ from repro.runner import ExperimentSpec, run_cells
 from repro.sim import Network
 from repro.sim.engine import Engine
 from repro.sim.fastpath import FASTPATH_ENV
+from repro.sim.parallel import ParallelScenario, SourceSpec, run_parallel, run_serial
 from repro.sim.sources import PoissonSource
 from repro.units import GBPS
 
@@ -406,11 +407,156 @@ def bench_engine_throughput(benchmark, report, bench_record):
     # gate gets a 0.6 floor: loose enough to ride out drift, tight
     # enough to catch telemetry accidentally armed by default (which
     # halves the rate and lands well below it).  Armed telemetry is
-    # allowed to cost, but not more than 3x on this worst-case (every
-    # packet monitored and stamped) workload.
+    # allowed to cost, but not more than 2x on this worst-case (every
+    # packet monitored and stamped) workload — the floor-index is now
+    # computed once per enqueue and single-window residencies (all of
+    # them, on this workload) skip the boundary walk, which brought the
+    # ratio from ~2.1x down to ~1.9x.
     assert telemetry_off_vs_pr6 >= 0.6, (
         f"telemetry hooks slowed the disabled path: {telemetry_off_vs_pr6:.2f}x PR 6"
     )
-    assert telemetry_overhead_ratio <= 3.0, (
-        f"armed telemetry overhead {telemetry_overhead_ratio:.2f}x exceeds 3x"
+    assert telemetry_overhead_ratio <= 2.0, (
+        f"armed telemetry overhead {telemetry_overhead_ratio:.2f}x exceeds 2x"
+    )
+
+
+#: Sharded-DES benchmark: the paper's full 1056-port element (33 ULL
+#: switches x 4 modelled servers), every server streaming Poisson
+#: traffic for 10 ms of simulated time.  The four servers per rack
+#: stream to racks 1, 2, 5 and 16 away — the locality mix the paper's
+#: evaluation emphasizes (Figures 17/18): most traffic stays near its
+#: rack and forwards batched inside one shard, while the antipodal
+#: flows keep every boundary channel busy across the cut.  Propagation
+#: is raised to 2.5 us — ring-scale fibre runs between racks, not
+#: patch cables — which also sets the conservative lookahead (ULL
+#: latency + propagation ≈ 2.9 us per window).
+PARALLEL_SHARDS = 2
+PARALLEL_RACKS = 33
+PARALLEL_SERVERS = 4
+PARALLEL_OFFSETS = (1, 2, 5, 16)
+PARALLEL_RATE_PPS = 200_000.0
+PARALLEL_DURATION = 0.01
+PARALLEL_PROPAGATION = 2.5e-6
+
+
+def _parallel_scenario() -> ParallelScenario:
+    specs = []
+    for rack in range(PARALLEL_RACKS):
+        for server in range(PARALLEL_SERVERS):
+            offset = PARALLEL_OFFSETS[server]
+            specs.append(
+                SourceSpec(
+                    src=f"h{rack}.{server}",
+                    dst=f"h{(rack + offset) % PARALLEL_RACKS}.{server}",
+                    rate_pps=PARALLEL_RATE_PPS,
+                    group=f"g{rack % 2}",
+                    flow_id=rack * PARALLEL_SERVERS + server,
+                    seed=rack * PARALLEL_SERVERS + server,
+                )
+            )
+    return ParallelScenario(
+        fabric="quartz-ring",
+        fabric_args=(PARALLEL_RACKS, PARALLEL_SERVERS),
+        sources=tuple(specs),
+        duration=PARALLEL_DURATION,
+        propagation_delay=PARALLEL_PROPAGATION,
+    )
+
+
+def bench_parallel_shards(benchmark, report, bench_record):
+    """Conservative-window sharded DES vs the serial reference.
+
+    Both parallel runs must first reproduce the serial fingerprint
+    bit-for-bit; only then is their cost reported.  The *gate* is on
+    the critical-path compute phase in **inline** mode (shards stepped
+    sequentially in this process): max-shard-CPU / serial-CPU measures
+    how well the partitioner divided the work, and sequential stepping
+    keeps it honest on a 1-CPU CI container — two worker *processes*
+    timesharing one core evict each other's caches, and that thrash
+    lands in their ``process_time`` (measured here at ~1.6x), which
+    would make a process-mode CPU gate report the container's core
+    count rather than the partitioner's quality.  The **process** run
+    is reported as the advisory deployment phase split: spin-up (pool
+    + per-shard fabric build), compute (max worker CPU inside
+    ``engine.run``), and barrier (window coordination + pickling).
+    """
+    scenario = _parallel_scenario()
+    serial = benchmark.pedantic(
+        lambda: run_serial(scenario), rounds=1, iterations=1
+    )
+    inline = run_parallel(
+        scenario, num_shards=PARALLEL_SHARDS, mode="inline", parallel=True
+    )
+    assert inline.fingerprint() == serial.fingerprint(), (
+        "inline sharded run diverged from the serial reference"
+    )
+    process = run_parallel(
+        scenario, num_shards=PARALLEL_SHARDS, mode="process", parallel=True
+    )
+    assert process.fingerprint() == serial.fingerprint(), (
+        "process sharded run diverged from the serial reference"
+    )
+
+    compute_speedup = serial.compute_seconds / inline.compute_seconds
+    process_speedup = serial.compute_seconds / process.compute_seconds
+    lines = [
+        "Sharded DES: 1056-port element, conservative windows",
+        f"{'metric':<40}{'serial':>12}{'inline x2':>13}{'process x2':>13}",
+        "-" * 78,
+        f"{'packets delivered':<40}{serial.packets_delivered:>12,}"
+        f"{inline.packets_delivered:>13,}{process.packets_delivered:>13,}",
+        f"{'logical events':<40}{serial.events_processed:>12,}"
+        f"{inline.events_processed:>13,}{process.events_processed:>13,}",
+        f"{'windows':<40}{'-':>12}{inline.windows:>13,}"
+        f"{process.windows:>13,}",
+        f"{'boundary messages':<40}{'-':>12}{inline.boundary_messages:>13,}"
+        f"{process.boundary_messages:>13,}",
+        f"{'lookahead (us)':<40}{'inf':>12}"
+        f"{inline.lookahead * 1e6:>13.2f}{process.lookahead * 1e6:>13.2f}",
+        f"{'wall clock (s)':<40}{serial.wall_seconds:>12.2f}"
+        f"{inline.wall_seconds:>13.2f}{process.wall_seconds:>13.2f}",
+        f"{'spin-up phase (s)':<40}{'-':>12}"
+        f"{inline.spinup_seconds:>13.2f}{process.spinup_seconds:>13.2f}",
+        f"{'compute phase, max shard CPU (s)':<40}"
+        f"{serial.compute_seconds:>12.2f}"
+        f"{inline.compute_seconds:>13.2f}{process.compute_seconds:>13.2f}",
+        f"{'barrier phase (s)':<40}{'-':>12}"
+        f"{inline.barrier_seconds:>13.2f}{process.barrier_seconds:>13.2f}",
+        f"{'compute-phase speedup':<40}{'1.00x':>12}"
+        f"{f'{compute_speedup:.2f}x':>13}{f'{process_speedup:.2f}x':>13}",
+        "",
+        "Fingerprints (counters, packet ids, event counts, every latency",
+        "sample, per-port state, per-flow fault stats) are asserted",
+        "identical before any number above is reported.  The gate is the",
+        "inline column: shards stepped sequentially in one process, so",
+        "max-shard-CPU / serial-CPU measures the partitioner's division",
+        "of work without the cache thrash two worker processes inflict",
+        "on each other while timesharing a 1-CPU container (that thrash",
+        "is visible above as the process column's higher compute CPU).",
+        "The process column is the deployment story: spin-up pays pool",
+        "start + per-shard fabric build once, barrier pays per-window",
+        "inbox exchange + pickling, and on a multi-core host the wall",
+        "clock tracks its compute column.",
+    ]
+    report("parallel_shards", "\n".join(lines))
+    bench_record(
+        parallel_shards=PARALLEL_SHARDS,
+        parallel_windows=process.windows,
+        parallel_boundary_messages=process.boundary_messages,
+        parallel_lookahead_us=round(process.lookahead * 1e6, 3),
+        parallel_serial_seconds=round(serial.compute_seconds, 3),
+        parallel_compute_seconds=round(inline.compute_seconds, 3),
+        parallel_compute_speedup=round(compute_speedup, 3),
+        parallel_process_wall_seconds=round(process.wall_seconds, 3),
+        parallel_process_spinup_seconds=round(process.spinup_seconds, 3),
+        parallel_process_compute_seconds=round(process.compute_seconds, 3),
+        parallel_process_barrier_seconds=round(process.barrier_seconds, 3),
+        parallel_process_compute_speedup=round(process_speedup, 3),
+    )
+
+    # Gate: splitting the element across 2 shards must cut the critical
+    # path's CPU burn by >= 1.5x (perfect balance would be 2x; rack 17
+    # vs 16 imbalance plus boundary recompilation costs the rest).
+    assert compute_speedup >= 1.5, (
+        f"compute-phase speedup {compute_speedup:.2f}x below the 1.5x gate"
     )

@@ -18,6 +18,7 @@ Usage::
 from repro.runner.pool import (
     SHORT_SWEEP_CELLS_PER_WORKER,
     ExperimentSpec,
+    PinnedPool,
     RunnerError,
     default_workers,
     run_cells,
@@ -26,6 +27,7 @@ from repro.runner.pool import (
 __all__ = [
     "SHORT_SWEEP_CELLS_PER_WORKER",
     "ExperimentSpec",
+    "PinnedPool",
     "RunnerError",
     "default_workers",
     "run_cells",

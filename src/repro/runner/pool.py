@@ -151,6 +151,86 @@ def _worker_init(
         warmup()
 
 
+class PinnedPool:
+    """A row of single-worker executors with slot-to-process affinity.
+
+    Work submitted to slot ``i`` always runs in the same OS process, so
+    state installed by that slot's initializer — or left behind by
+    earlier submissions — persists across calls.  :func:`run_cells`
+    deliberately offers no such affinity (a shared pool hands cells to
+    whichever worker frees up first), which is exactly wrong for
+    stateful shard loops: the conservative-window coordinator in
+    :mod:`repro.sim.parallel` must step the *same* live simulation at
+    every window barrier.
+
+    Each slot's worker adopts the parent's cache configuration first
+    (the same contract as ``run_cells`` workers — with
+    ``REPRO_CACHE_DIR`` set, every shard shares the on-disk artifact
+    store), then runs ``initializer(*initargs_per_slot[slot])`` once.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        initializer: Callable[..., Any] | None = None,
+        initargs_per_slot: Sequence[tuple] | None = None,
+    ) -> None:
+        if slots < 1:
+            raise RunnerError(f"need at least one slot, got {slots}")
+        if initargs_per_slot is not None and len(initargs_per_slot) != slots:
+            raise RunnerError(
+                f"initargs_per_slot has {len(initargs_per_slot)} entries "
+                f"for {slots} slots"
+            )
+        cache_config = artifact_cache().config
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_pinned_worker_init,
+                initargs=(
+                    cache_config,
+                    initializer,
+                    tuple(initargs_per_slot[slot]) if initargs_per_slot else (),
+                ),
+            )
+            for slot in range(slots)
+        ]
+
+    @property
+    def slots(self) -> int:
+        return len(self._pools)
+
+    def submit(self, slot: int, fn: Callable[..., Any], *args: Any):
+        """Submit ``fn(*args)`` to slot ``slot``'s pinned worker."""
+        return self._pools[slot].submit(fn, *args)
+
+    def broadcast(self, fn: Callable[..., Any], *args: Any) -> list:
+        """Submit the same call to every slot; returns one future per slot."""
+        return [pool.submit(fn, *args) for pool in self._pools]
+
+    def shutdown(self, wait: bool = True) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PinnedPool":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.shutdown()
+        return False
+
+
+def _pinned_worker_init(
+    cache_config: CacheConfig,
+    initializer: Callable[..., Any] | None,
+    initargs: tuple,
+) -> None:
+    """Cache adoption + per-slot initializer for :class:`PinnedPool` workers."""
+    configure(cache_config)
+    if initializer is not None:
+        initializer(*initargs)
+
+
 def _run_spec(spec: ExperimentSpec) -> Any:
     """Module-level trampoline so specs pickle cleanly into workers."""
     return spec.run()

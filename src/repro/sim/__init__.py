@@ -10,7 +10,7 @@ sources used in Sections 6 and 7.
 
 from repro.sim.engine import BucketScheduler, Engine, Event, SimulationError
 from repro.sim.fastpath import FASTPATH_ENV, HopPlan, compile_plan
-from repro.sim.knobs import HYBRID_ENV, env_truthy, resolve_flag
+from repro.sim.knobs import HYBRID_ENV, PARALLEL_ENV, env_truthy, resolve_flag
 from repro.sim.faults import (
     FaultInjectionError,
     FaultInjector,
@@ -23,6 +23,19 @@ from repro.sim.network import (
     Network,
     NetworkSimError,
     Packet,
+)
+from repro.sim.parallel import (
+    BoundaryMessage,
+    ParallelScenario,
+    ParallelSimError,
+    RunResult,
+    ShardNetwork,
+    SourceSpec,
+    boundary_links,
+    lookahead,
+    partition_racks,
+    run_parallel,
+    run_serial,
 )
 from repro.sim.sources import (
     DEFAULT_PACKET_BYTES,
@@ -54,8 +67,20 @@ __all__ = [
     "CCS",
     "FASTPATH_ENV",
     "HYBRID_ENV",
+    "PARALLEL_ENV",
     "env_truthy",
     "resolve_flag",
+    "BoundaryMessage",
+    "ParallelScenario",
+    "ParallelSimError",
+    "RunResult",
+    "ShardNetwork",
+    "SourceSpec",
+    "boundary_links",
+    "lookahead",
+    "partition_racks",
+    "run_parallel",
+    "run_serial",
     "HopPlan",
     "compile_plan",
     "DEFAULT_PACKET_BYTES",

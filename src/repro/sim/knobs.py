@@ -41,6 +41,13 @@ _FALSY = ("", "0")
 #: resolve its ``hybrid=`` knob without importing the hybrid layer.
 HYBRID_ENV = "REPRO_HYBRID_DISABLE"
 
+#: Environment variable that disables the conservative-window parallel
+#: DES (:mod:`repro.sim.parallel` then runs its scenario serially in one
+#: process — the reference execution every parallel run must match).
+#: Defined here for the same reason as :data:`HYBRID_ENV`: the network
+#: records the resolved knob without importing the parallel layer.
+PARALLEL_ENV = "REPRO_PARALLEL_DISABLE"
+
 
 def env_truthy(env: str, environ: "Mapping[str, str] | None" = None) -> bool:
     """Whether environment variable ``env`` is set to a truthy value.

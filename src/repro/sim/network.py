@@ -39,7 +39,7 @@ from repro.sim.fastpath import (
     compile_plan,
     stack_plan,
 )
-from repro.sim.knobs import HYBRID_ENV, resolve_flag
+from repro.sim.knobs import HYBRID_ENV, PARALLEL_ENV, resolve_flag
 from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.telemetry.windows import TelemetryConfig, TelemetryHub, resolve_config
@@ -149,6 +149,7 @@ class Network:
         batch: bool | None = None,
         telemetry: "TelemetryConfig | bool | None" = None,
         hybrid: bool | None = None,
+        parallel: bool | None = None,
     ) -> None:
         """``buffer_bytes`` bounds each output port's queue: a packet
         arriving to a port whose backlog would exceed the buffer is
@@ -194,7 +195,14 @@ class Network:
         handoff (enabled) or materialize as packet sources — the
         pure-packet oracle (disabled).  The default (``None``) follows
         the ``REPRO_HYBRID_DISABLE`` environment variable; an explicit
-        ``False`` wins over the environment, like every other knob."""
+        ``False`` wins over the environment, like every other knob.
+
+        ``parallel`` resolves the conservative-window parallel-DES knob
+        the same way (``REPRO_PARALLEL_DISABLE``): a plain network only
+        records the value in ``parallel_enabled``;
+        :func:`repro.sim.parallel.run_parallel` consults it to decide
+        whether a scenario shards across worker processes or falls back
+        to the serial reference execution."""
         if buffer_bytes is not None and buffer_bytes <= 0:
             raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
         self.topo = topo
@@ -276,6 +284,12 @@ class Network:
         #: :class:`repro.hybrid.HybridNetwork` (a plain network never
         #: reads it back).
         self.hybrid_enabled = resolve_flag(hybrid, HYBRID_ENV, env_disables=True)
+        #: Resolved ``parallel=`` knob; consulted by
+        #: :func:`repro.sim.parallel.run_parallel` (a plain network
+        #: never reads it back).
+        self.parallel_enabled = resolve_flag(
+            parallel, PARALLEL_ENV, env_disables=True
+        )
         # Stacked (vectorized) twins of ``_plans``, same invalidation.
         self._stacked: dict[Path, StackedPlan] = {}
 

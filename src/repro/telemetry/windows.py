@@ -202,8 +202,11 @@ class PortMonitor:
         wait = start - arrival
         self.enqueues += 1
 
-        label = flow if flow is not None else UNGROUPED
-        win = self._window(int(math.floor(arrival / self.width)))
+        width = self.width
+        index = int(math.floor(arrival / width))
+        win = self._windows.get(index)
+        if win is None:
+            win = self._window(index)
         win.enqueues += 1
         win.depth_sum += depth
         if depth > win.depth_max:
@@ -212,14 +215,27 @@ class PortMonitor:
         if wait > win.wait_max:
             win.wait_max = wait
 
-        # Spread the occupancy integral across every window the
-        # residency [arrival, tail_out) crosses.  Each slice is a
-        # non-negative duration times a positive size, so per-flow
-        # integrals can never go negative.
-        index = int(math.floor(arrival / self.width))
+        label = flow if flow is not None else UNGROUPED
+        boundary = (index + 1) * width
+        if tail_out <= boundary:
+            # The overwhelmingly common case (sub-µs residencies inside
+            # 50 µs windows): the whole [arrival, tail_out) slice lands
+            # in the window already in hand — one multiply and one dict
+            # update, no boundary walk.  Bit-identical to the general
+            # loop below collapsing to its single iteration.
+            contribution = size_bytes * (tail_out - arrival)
+            if contribution > 0.0:
+                occ = win.occupancy_by_flow
+                occ[label] = occ.get(label, 0.0) + contribution
+            return depth, wait
+
+        # Residency crosses window boundaries: spread the occupancy
+        # integral across every window [arrival, tail_out) touches.
+        # Each slice is a non-negative duration times a positive size,
+        # so per-flow integrals can never go negative.
         t = arrival
         while t < tail_out:
-            boundary = (index + 1) * self.width
+            boundary = (index + 1) * width
             slice_end = tail_out if tail_out < boundary else boundary
             win = self._window(index)
             contribution = size_bytes * (slice_end - t)

@@ -15,7 +15,7 @@ import repro.topology as T
 from repro.routing import ECMPRouter
 from repro.sim import Network
 from repro.sim.fastpath import BATCH_ENV, FASTPATH_ENV
-from repro.sim.knobs import HYBRID_ENV, env_truthy, resolve_flag
+from repro.sim.knobs import HYBRID_ENV, PARALLEL_ENV, env_truthy, resolve_flag
 from repro.sim.sources import PoissonSource
 from repro.telemetry import TELEMETRY_ENV, TelemetryConfig
 from repro.telemetry.windows import resolve_config
@@ -61,6 +61,12 @@ def test_env_truthy_convention():
 
 
 def _net(monkeypatch, env_name=None, env_value=None, **kwargs):
+    # Hermetic environment: an outer CI leg (REPRO_TELEMETRY=1,
+    # REPRO_FASTPATH_DISABLE=1, ...) must not leak into knob-resolution
+    # assertions — each case sets exactly the one variable it tests.
+    for leaked in (FASTPATH_ENV, BATCH_ENV, HYBRID_ENV, PARALLEL_ENV,
+                   TELEMETRY_ENV):
+        monkeypatch.delenv(leaked, raising=False)
     if env_name is not None:
         monkeypatch.setenv(env_name, env_value)
     topo = T.quartz_ring(3, 1)
@@ -72,6 +78,7 @@ KNOB_CASES = [
     ("fastpath", FASTPATH_ENV, "fastpath_enabled"),
     ("batch", BATCH_ENV, "batch_enabled"),
     ("hybrid", HYBRID_ENV, "hybrid_enabled"),
+    ("parallel", PARALLEL_ENV, "parallel_enabled"),
 ]
 
 
@@ -106,10 +113,8 @@ def test_telemetry_config_passthrough():
 
 
 def test_source_chunk_follows_fastpath_env(monkeypatch):
-    monkeypatch.delenv(FASTPATH_ENV, raising=False)
     net = _net(monkeypatch)
     servers = net.topo.servers()
     assert PoissonSource(net, servers[0], servers[1], rate_pps=1.0).chunk > 1
-    monkeypatch.setenv(FASTPATH_ENV, "1")
-    net = _net(monkeypatch)
+    net = _net(monkeypatch, FASTPATH_ENV, "1")
     assert PoissonSource(net, servers[0], servers[1], rate_pps=1.0).chunk == 1

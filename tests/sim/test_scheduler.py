@@ -3,6 +3,8 @@ like the reference heap — same timestamps, same FIFO tie-breaking,
 same behaviour under cancellation — for any operation sequence.
 """
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -239,3 +241,137 @@ class TestWindowBoundaries:
         engine.run()
         assert fired == [0.0, 0.5, 1.25]
         assert engine.now == 1e12 + 1.25
+
+
+#: Timestamps with forced duplicates: a small exact pool (hit often) mixed
+#: with arbitrary floats, spanning the bucket ring and the overflow heap.
+DUP_TIMES = st.lists(
+    st.one_of(
+        st.sampled_from([0.0, 3.7e-7, 1e-6, 1e-6, 3.2e-5, 2.56e-4]),
+        st.floats(min_value=0.0, max_value=5e-4, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestCallAtManyEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(DUP_TIMES)
+    def test_duplicate_timestamps_pop_fifo_identically(self, times):
+        # One bulk push per engine; sequence numbers are assigned in
+        # iteration order, so duplicates must fire in list order — on
+        # both schedulers, yielding identical traces.
+        traces = {}
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            trace = []
+
+            def fire(tag):
+                trace.append((engine.now, tag))
+
+            engine.call_at_many(
+                (t, fire, (tag,)) for tag, t in enumerate(times)
+            )
+            engine.run()
+            traces[scheduler] = trace
+        assert traces["bucket"] == traces["heap"]
+        # FIFO among equal timestamps == a stable sort of the input.
+        assert traces["heap"] == sorted(
+            ((t, tag) for tag, t in enumerate(times)),
+            key=lambda pair: pair[0],
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(DUP_TIMES, DUP_TIMES)
+    def test_bulk_and_scalar_pushes_interleave_identically(self, bulk, scalar):
+        # call_at_many shares the sequence counter with call_at; a bulk
+        # batch followed by scalar pushes at colliding times must still
+        # drain in global FIFO-per-timestamp order on both schedulers.
+        traces = {}
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            trace = []
+
+            def fire(tag):
+                trace.append((engine.now, tag))
+
+            engine.call_at_many(
+                (t, fire, (("bulk", tag),)) for tag, t in enumerate(bulk)
+            )
+            for tag, t in enumerate(scalar):
+                engine.call_at(t, fire, ("scalar", tag))
+            engine.run()
+            traces[scheduler] = trace
+        assert traces["bucket"] == traces["heap"]
+        expected = [(t, ("bulk", tag)) for tag, t in enumerate(bulk)]
+        expected += [(t, ("scalar", tag)) for tag, t in enumerate(scalar)]
+        assert traces["heap"] == sorted(expected, key=lambda pair: pair[0])
+
+
+#: (delay, cancel-this-one) pairs for the peek lower-bound property.
+PEEK_OPS = st.lists(
+    st.tuples(DELAYS, st.booleans()), min_size=1, max_size=40
+)
+
+
+class TestPeekTimeLowerBound:
+    """``peek_time`` is a *lower bound* on the next live event.
+
+    Lazily-cancelled entries are blanked in place, so a dead head may
+    make the bound earlier than the next event that actually fires —
+    never later.  Lookahead consumers (batching, the parallel window
+    coordinator) rely on exactly this one-sided error.
+    """
+
+    @settings(max_examples=120, deadline=None)
+    @given(PEEK_OPS)
+    def test_peek_never_exceeds_next_live_event(self, ops):
+        for scheduler in ("heap", "bucket"):
+            engine = Engine(scheduler=scheduler)
+            fired = []
+            live = []
+            for delay, doomed in ops:
+                handle = engine.schedule(delay, fired.append, delay)
+                if doomed:
+                    handle.cancel()
+                else:
+                    live.append(delay)
+            peek = engine.peek_time()
+            assert peek >= 0.0, scheduler
+            if live:
+                assert peek <= min(live), scheduler
+            engine.run()
+            assert fired == sorted(fired), scheduler
+            assert len(fired) == len(live), scheduler
+
+    def test_peek_is_inf_when_empty(self):
+        for scheduler in ("heap", "bucket"):
+            assert math.isinf(Engine(scheduler=scheduler).peek_time())
+
+    def test_heap_cancelled_head_only_underestimates(self):
+        engine = Engine(scheduler="heap")
+        doomed = engine.schedule(1e-6, lambda: None)
+        engine.schedule(5e-6, lambda: None)
+        doomed.cancel()
+        # The blanked head may still be reported (1e-6) — a valid lower
+        # bound — but the bound must never pass the live event.
+        assert 0.0 <= engine.peek_time() <= 5e-6
+
+    def test_bucket_cancelled_active_head_only_underestimates(self):
+        engine = Engine(scheduler="bucket")
+        doomed = engine.schedule(1e-7, lambda: None)
+        engine.schedule(9e-7, lambda: None)  # same 1 us bucket
+        doomed.cancel()
+        assert 0.0 <= engine.peek_time() <= 9e-7
+
+    def test_bucket_cancelled_overflow_head_only_underestimates(self):
+        # Both events park in the overflow heap (past the 256 us ring);
+        # cancelling its head must not push the bound past the live one.
+        engine = Engine(scheduler="bucket")
+        doomed = engine.schedule(1e-3, lambda: None)
+        engine.schedule(2e-3, lambda: None)
+        doomed.cancel()
+        assert 0.0 <= engine.peek_time() <= 2e-3
+        engine.run()
+        assert engine.events_processed == 1
