@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples smoke smoke-update smoke-telemetry \
-	smoke-telemetry-update smoke-cached lint ci all
+.PHONY: install test bench bench-trajectory examples smoke smoke-update \
+	smoke-telemetry smoke-telemetry-update smoke-cached lint ci all
 
 install:
 	pip install -e .
@@ -13,6 +13,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Append the current BENCH_simulator.json snapshot to the committed
+# perf trajectory (one JSON line per measured tree; view it with
+# `python -m repro trajectory`).
+bench-trajectory:
+	PYTHONPATH=src $(PYTHON) benchmarks/append_trajectory.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script; done

@@ -64,9 +64,30 @@ __all__ = [
     "cached",
     "canonical",
     "configure",
+    "describe",
     "digest",
     "reset",
 ]
+
+
+def describe() -> dict:
+    """One-call cache introspection: config, hit counters, disk usage.
+
+    The flat dict behind ``python -m repro cache stats`` — also handy
+    for dropping into a run manifest's ``extra`` section.  Walks the
+    disk store to count entries, so it is a diagnostics call, not a
+    hot-path one.
+    """
+    cache = artifact_cache()
+    entries, disk_bytes = cache.disk_usage()
+    return {
+        "enabled": cache.enabled,
+        "directory": cache.config.directory,
+        "memory_items": cache.config.memory_items,
+        "disk_entries": entries,
+        "disk_bytes": disk_bytes,
+        **cache.stats.as_dict(),
+    }
 
 
 def cached(

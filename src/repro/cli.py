@@ -1,18 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's main entry points:
+The main entry points:
 
 * ``plan`` — wavelength assignment for a ring (greedy or exact ILP),
   optionally as a factory-shippable JSON document;
 * ``design`` — the Table 8 cost configurator;
 * ``topology`` — build a named topology and print its Table 9 metrics;
-* ``experiment`` — regenerate an evaluation figure (10, 17, 18 or 20).
+* ``experiment`` — regenerate an evaluation figure (10, 17, 18 or 20);
+* ``trace`` / ``report`` / ``trajectory`` — the observability trio:
+  a Chrome-trace profile of a representative workload, the run
+  manifest renderer, and the benchmark perf-trajectory sparkline.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.core import channels as _channels
@@ -82,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--background-flows", type=int, default=2000, metavar="N",
         help="background flow count for the hybrid-scale scenario",
     )
+    exp.add_argument(
+        "--manifest", type=str, default=None, metavar="PATH",
+        help="write a run-provenance manifest (repro.obs.report) to PATH "
+        "after the experiment completes",
+    )
 
     scale = sub.add_parser(
         "scaling", help="largest element per switch port count (Section 8)"
@@ -142,6 +151,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump-windows", type=str, default=None, metavar="PATH",
         help="with --telemetry: also write the per-window telemetry JSON "
         "dump to PATH (CI uploads it as a workflow artifact)",
+    )
+    smoke.add_argument(
+        "--manifest", type=str, default=None, metavar="PATH",
+        help="write a run-provenance manifest (repro.obs.report) to PATH "
+        "after the smoke run",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="profile a representative workload into Chrome trace JSON"
+    )
+    trace.add_argument(
+        "--out", type=str, default="repro-trace.json", metavar="PATH",
+        help="trace output path (open in Perfetto / chrome://tracing)",
+    )
+    trace.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="sweep worker processes for the per-worker span lanes",
+    )
+
+    report = sub.add_parser(
+        "report", help="render (or freshly build) a run-provenance manifest"
+    )
+    report.add_argument(
+        "path", nargs="?", default=None,
+        help="manifest JSON to validate and render; omitted = build one "
+        "from the current process state",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the manifest as JSON"
+    )
+
+    traj = sub.add_parser(
+        "trajectory", help="sparkline of the benchmark perf trajectory"
+    )
+    traj.add_argument(
+        "--file", type=str, default=None, metavar="PATH",
+        help="trajectory JSONL (default: benchmarks/results/BENCH_trajectory.jsonl)",
+    )
+    traj.add_argument(
+        "--metric", type=str, default="engine_events_per_sec_batched",
+        help="which metric column to plot",
     )
     return parser
 
@@ -231,10 +281,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     workers = args.workers if args.workers > 0 else None  # None = auto
     try:
-        return _run_experiment(args, E, workers)
+        status = _run_experiment(args, E, workers)
     except RunnerError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if status == 0 and args.manifest:
+        _write_manifest(
+            args.manifest,
+            seeds=[args.seed],
+            extra={"command": "experiment", "figure": args.figure},
+        )
+    return status
 
 
 def _run_experiment(args: argparse.Namespace, E, workers: int | None) -> int:
@@ -285,7 +342,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     import json
 
-    from repro.cache import artifact_cache
+    from repro.cache import artifact_cache, describe
 
     cache = artifact_cache()
     if args.cache_command == "clear":
@@ -293,15 +350,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         where = cache.config.directory or "(memory only)"
         print(f"cache cleared: {removed} disk entries removed from {where}")
         return 0
-    entries, disk_bytes = cache.disk_usage()
-    info: dict = {
-        "enabled": cache.enabled,
-        "directory": cache.config.directory,
-        "memory_items": cache.config.memory_items,
-        "disk_entries": entries,
-        "disk_bytes": disk_bytes,
-        **cache.stats.as_dict(),
-    }
+    info: dict = describe()
     if args.json:
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
@@ -336,9 +385,6 @@ def _cmd_expand(args: argparse.Namespace) -> int:
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
-    import time
-    from pathlib import Path
-
     from repro import smoke as S
 
     if args.dump_windows and not args.telemetry:
@@ -354,13 +400,13 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         for key in sorted(metrics):
             print(f"  {key} = {metrics[key]!r}")
         _print_smoke_runtime(metrics["runtime.wall_clock_s"])
+        _smoke_manifest(args, metrics)
         return 0
-    start = time.perf_counter()
-    problems = S.check(
+    problems, runtime = S.check_with_runtime(
         path, telemetry=args.telemetry, dump_windows_to=args.dump_windows
     )
-    elapsed = time.perf_counter() - start
-    _print_smoke_runtime(elapsed)
+    _print_smoke_runtime(runtime.get("runtime.wall_clock_s", 0.0))
+    _smoke_manifest(args, runtime)
     if problems:
         print("benchmark smoke drift detected:", file=sys.stderr)
         for problem in problems:
@@ -373,6 +419,24 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         return 1
     print(f"benchmark smoke OK ({path.name})")
     return 0
+
+
+def _smoke_manifest(args: argparse.Namespace, runtime: dict) -> None:
+    if not args.manifest:
+        return
+    extra = {
+        "command": "smoke",
+        "telemetry": bool(args.telemetry),
+        **{k: v for k, v in runtime.items() if k.startswith("runtime.")},
+    }
+    _write_manifest(args.manifest, seeds=[0], extra=extra)
+
+
+def _write_manifest(path: str, seeds=None, extra=None) -> None:
+    from repro.obs import report as _report
+
+    doc = _report.write_manifest(path, seeds=seeds, extra=extra)
+    print(f"run manifest written: {path} ({doc['schema']})")
 
 
 def _print_smoke_runtime(elapsed_s: float) -> None:
@@ -389,6 +453,168 @@ def _print_smoke_runtime(elapsed_s: float) -> None:
     )
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro import obs
+    from repro.obs.tracing import export_chrome
+
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    was_armed = obs.armed()
+    obs.arm()
+    # The export should contain exactly the profile below — discard
+    # whatever an already-armed process accumulated beforehand (a long
+    # session can fill the bounded buffer, which would drop the
+    # profile's own spans).
+    obs.tracer().drain()
+    try:
+        _trace_profile(args.workers)
+        spans = obs.tracer().drain()
+    finally:
+        if not was_armed:
+            obs.disarm()
+    doc = export_chrome(spans, process_labels={os.getpid(): "coordinator"})
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh)
+    names = sorted({span.name for span in spans})
+    print(f"trace written: {args.out} ({len(spans)} spans)")
+    print(f"span kinds: {', '.join(names)}")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _trace_profile(workers: int) -> None:
+    """A representative workload touching every traced layer.
+
+    Three phases: a small sweep fanned over ``workers`` processes
+    (per-worker ``sweep.cell`` lanes), one hybrid packet/flow cell
+    (``hybrid.epoch`` spans), and one inline conservative-window
+    parallel run (``parallel.window`` / ``parallel.barrier`` spans).
+    Engine runs inside all three contribute ``engine.run`` spans.
+    """
+    import os
+
+    from repro.experiments import run_hybrid_scale_cell, run_task_experiment
+    from repro.runner import ExperimentSpec, run_cells
+    from repro.sim.knobs import HYBRID_ENV
+    from repro.sim.parallel import ParallelScenario, SourceSpec, run_parallel
+
+    cells = [
+        ExperimentSpec(
+            run_task_experiment,
+            ("quartz in edge and core", "scatter", 1),
+            {"fan": 4, "duration": 0.001, "seed": seed},
+            label=f"fig17-seed{seed}",
+        )
+        for seed in range(max(2, workers))
+    ]
+    run_cells(cells, workers=workers)
+
+    saved_hybrid = os.environ.pop(HYBRID_ENV, None)
+    try:
+        run_hybrid_scale_cell(
+            fabric="quartz-ring-small", mode="hybrid", n_background=10,
+            fg_fan=2, duration=0.001, seed=0,
+        )
+    finally:
+        if saved_hybrid is not None:
+            os.environ[HYBRID_ENV] = saved_hybrid
+
+    scenario = ParallelScenario(
+        fabric="quartz-ring",
+        fabric_args=(6, 1),
+        sources=tuple(
+            SourceSpec(
+                src=f"h{rack}.0", dst=f"h{(rack + 2) % 6}.0",
+                rate_pps=50_000.0, flow_id=rack, seed=rack,
+            )
+            for rack in range(6)
+        ),
+        duration=5e-4,
+    )
+    run_parallel(scenario, num_shards=2, mode="inline", parallel=True)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import report as R
+
+    if args.path is not None:
+        try:
+            doc = json.loads(Path(args.path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read manifest {args.path}: {exc}", file=sys.stderr)
+            return 2
+        problems = R.validate_manifest(doc)
+        if problems:
+            print(f"invalid manifest {args.path}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+    else:
+        doc = R.build_manifest()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(R.render_manifest(doc))
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.textplot import ChartError, sparkline
+
+    default = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks" / "results" / "BENCH_trajectory.jsonl"
+    )
+    path = Path(args.file) if args.file else default
+    if not path.exists():
+        print(
+            f"no trajectory file at {path}; run `make bench-trajectory`",
+            file=sys.stderr,
+        )
+        return 2
+    rows = [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+    points = [
+        (row.get("commit", "?")[:7], float(row["metrics"][args.metric]))
+        for row in rows
+        if isinstance(row.get("metrics", {}).get(args.metric), (int, float))
+    ]
+    if not points:
+        known = sorted({k for row in rows for k in row.get("metrics", {})})
+        print(
+            f"metric {args.metric!r} not found in {path.name}; "
+            f"known keys: {', '.join(known) or '(none)'}",
+            file=sys.stderr,
+        )
+        return 2
+    values = [value for _, value in points]
+    try:
+        chart = sparkline(values)
+    except ChartError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    first, last = values[0], values[-1]
+    change = (last / first - 1.0) if first else 0.0
+    print(f"{args.metric} over {len(values)} runs")
+    print(f"  {chart}")
+    print(
+        f"  first {first:,.0f} ({points[0][0]})  "
+        f"last {last:,.0f} ({points[-1][0]})  change {change:+.1%}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "design": _cmd_design,
@@ -398,6 +624,9 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "expand": _cmd_expand,
     "smoke": _cmd_smoke,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
+    "trajectory": _cmd_trajectory,
 }
 
 

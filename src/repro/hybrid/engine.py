@@ -40,10 +40,12 @@ the accuracy baseline ``bench_hybrid_scale`` gates against.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Sequence
 
 import networkx as nx
 
+from repro import obs as _obs
 from repro.flowsim.maxmin import Flow, ResidualSolver, capacities_of
 from repro.hybrid.background import BackgroundFlow, BackgroundSchedule, HybridError
 from repro.routing.base import Router, RoutingError
@@ -185,7 +187,12 @@ class HybridNetwork(Network):
         compiled-plan caches are cleared only when at least one moved —
         an epoch that resolves to the same allocation costs nothing on
         the packet side.
+
+        Armed observability records one ``hybrid.epoch`` span plus the
+        re-solve count, duration, and links-changed tallies per call.
         """
+        o = self.obs
+        start = _time.perf_counter() if o is not None else 0.0
         solution = self._solver.solve()
         residual = solution.residual
         floor_frac = self.min_residual_fraction
@@ -211,6 +218,19 @@ class HybridNetwork(Network):
             self.residual_epoch += 1
             if self.record_timeline:
                 self.residual_timeline.append((self.engine.now, changed))
+        if o is not None:
+            duration = _time.perf_counter() - start
+            o.incr("hybrid.resolves")
+            o.observe("hybrid.epoch_seconds", duration)
+            if changed:
+                o.incr("hybrid.residual_epochs")
+                o.incr("hybrid.links_changed", len(changed))
+            tracer = _obs.tracer()
+            if tracer is not None:
+                tracer.add(
+                    "hybrid.epoch", start, duration,
+                    sim_time=self.engine.now, links_changed=len(changed),
+                )
 
     # -- faults mutate the epoch too -----------------------------------------------
 

@@ -1,0 +1,150 @@
+"""Process-local metrics registry for the simulator runtime.
+
+The registry is the counting half of :mod:`repro.obs`: named counters,
+gauges, and timers that the engine, network fastpath/batch layers,
+hybrid epoch loop, parallel-DES coordinator, fault injector, and sweep
+runner report into while armed.  It observes — it never feeds back into
+simulation state, so an armed run stays fingerprint-identical to a
+disarmed one.
+
+Design constraints, in order:
+
+* **Zero overhead when disarmed.**  Hot paths hold a local reference
+  (``o = self.obs`` / ``reg = obs.registry()``) and pay one ``None``
+  test when observation is off; no registry object is ever consulted.
+* **Mergeable.**  ``run_cells`` workers and parallel-DES shards each
+  accumulate into their own process-local registry, :meth:`drain` it
+  into a plain-dict snapshot at the end, and ship the snapshot back for
+  :meth:`merge` in the coordinator — counters add, timers combine
+  count/total/max, gauges take the last writer.
+* **JSON-able.**  :meth:`snapshot` returns only dicts of primitives so
+  it can ride in a run manifest or cross a process boundary unpickled.
+
+Three instrument kinds:
+
+``incr(name, n=1)``
+    Monotonic counter (events popped, cohorts flushed, cache hits).
+``gauge(name, value)``
+    Last-value-wins sample (compute seconds of a finished run).
+``observe(name, value)`` / ``timed(name)``
+    Distribution summary keeping ``count`` / ``total`` / ``max`` —
+    used for durations (seconds) and for sizes (cohort packets), so
+    the fields are unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and count/total/max summaries."""
+
+    __slots__ = ("counters", "gauges", "_summaries")
+
+    def __init__(self) -> None:
+        #: name -> running total (int or float, whatever was added).
+        self.counters: dict[str, float] = {}
+        #: name -> last observed value.
+        self.gauges: dict[str, float] = {}
+        # name -> [count, total, max]; exposed via snapshot() as dicts.
+        self._summaries: dict[str, list[float]] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at zero)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last writer wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the count/total/max summary ``name``."""
+        cell = self._summaries.get(name)
+        if cell is None:
+            self._summaries[name] = [1, value, value]
+        else:
+            cell[0] += 1
+            cell[1] += value
+            if value > cell[2]:
+                cell[2] = value
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into summary ``name`` (seconds)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- export / merge ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of everything recorded so far.
+
+        Shape: ``{"counters": {...}, "gauges": {...}, "timers":
+        {name: {"count", "total", "max"}}}`` — JSON-able and accepted
+        verbatim by :meth:`merge` in another process.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {
+                name: {"count": cell[0], "total": cell[1], "max": cell[2]}
+                for name, cell in self._summaries.items()
+            },
+        }
+
+    def drain(self) -> dict:
+        """Snapshot then :meth:`clear` — for shipping out of a worker."""
+        snap = self.snapshot()
+        self.clear()
+        return snap
+
+    def clear(self) -> None:
+        """Drop every recorded value (the registry stays armed)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self._summaries.clear()
+
+    def merge(self, other: "MetricsRegistry | Mapping") -> None:
+        """Fold another registry or :meth:`snapshot` dict into this one.
+
+        Counters and summary count/total add (max takes the larger);
+        gauges take the incoming value.  Merging is commutative over
+        counters and summaries, so worker snapshots may arrive in any
+        order.
+        """
+        if isinstance(other, MetricsRegistry):
+            other = other.snapshot()
+        for name, value in other.get("counters", {}).items():
+            self.incr(name, value)
+        self.gauges.update(other.get("gauges", {}))
+        for name, timer in other.get("timers", {}).items():
+            cell = self._summaries.get(name)
+            if cell is None:
+                self._summaries[name] = [
+                    timer["count"], timer["total"], timer["max"],
+                ]
+            else:
+                cell[0] += timer["count"]
+                cell[1] += timer["total"]
+                if timer["max"] > cell[2]:
+                    cell[2] = timer["max"]
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self._summaries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, timers={len(self._summaries)})"
+        )

@@ -20,10 +20,12 @@ fallback when only one cell is given.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro import obs as _obs
 from repro.cache import CacheConfig, artifact_cache, configure
 
 
@@ -125,30 +127,87 @@ def run_cells(
     if workers == 1 or len(cells) <= 1:
         if warmup is not None:
             warmup()
-        return [cell.run() for cell in cells]
+        if _obs.registry() is None:
+            return [cell.run() for cell in cells]
+        results = []
+        for cell in cells:
+            results.append(_observed_run(cell))
+        return results
     workers = min(workers, len(cells))
     if chunksize is None:
         if len(cells) < workers * SHORT_SWEEP_CELLS_PER_WORKER:
             chunksize = -(-len(cells) // workers)  # ceil: one chunk/worker
         else:
             chunksize = max(1, len(cells) // (workers * 4))
+    obs_armed = _obs.registry() is not None
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(artifact_cache().config, warmup),
+        initargs=(artifact_cache().config, warmup, obs_armed),
     ) as pool:
         # ``map`` yields results in submission order — completion order
         # never leaks into the output.
-        return list(pool.map(_run_spec, cells, chunksize=chunksize))
+        if not obs_armed:
+            return list(pool.map(_run_spec, cells, chunksize=chunksize))
+        # Armed: workers bundle (result, spans, metrics snapshot); the
+        # parent re-ingests spans (per-worker pids intact) and merges
+        # the registries — snapshot merge is commutative, and results
+        # stay in submission order exactly as above.
+        registry = _obs.registry()
+        tracer = _obs.tracer()
+        results = []
+        for result, spans, snapshot in pool.map(
+            _run_spec_observed, cells, chunksize=chunksize
+        ):
+            if tracer is not None:
+                tracer.ingest(spans)
+            if snapshot:
+                registry.merge(snapshot)
+            results.append(result)
+        return results
 
 
 def _worker_init(
-    cache_config: CacheConfig, warmup: Callable[[], Any] | None = None
+    cache_config: CacheConfig,
+    warmup: Callable[[], Any] | None = None,
+    obs_armed: bool = False,
 ) -> None:
     """Adopt the parent's cache settings (shared disk store) in a worker."""
     configure(cache_config)
+    if obs_armed:
+        # The parent is observing: arm this worker so sweep-cell spans
+        # and metrics exist to ship home with each result.
+        _obs.arm()
     if warmup is not None:
         warmup()
+
+
+def _observed_run(spec: ExperimentSpec) -> Any:
+    """Run one cell under an armed registry, recording a sweep.cell span."""
+    registry = _obs.registry()
+    start = time.perf_counter()
+    result = spec.run()
+    duration = time.perf_counter() - start
+    label = spec.label or getattr(spec.fn, "__name__", "cell")
+    registry.incr("sweep.cells")
+    registry.observe("sweep.cell_seconds", duration)
+    tracer = _obs.tracer()
+    if tracer is not None:
+        tracer.add("sweep.cell", start, duration, label=label)
+    return result
+
+
+def _run_spec_observed(spec: ExperimentSpec) -> tuple:
+    """Worker-side twin of :func:`_observed_run`: runs the cell, then
+    drains this worker's spans and registry for the parent to merge."""
+    result = _observed_run(spec)
+    tracer = _obs.tracer()
+    registry = _obs.registry()
+    return (
+        result,
+        tracer.drain() if tracer is not None else [],
+        registry.drain() if registry is not None else None,
+    )
 
 
 class PinnedPool:

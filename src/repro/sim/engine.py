@@ -30,8 +30,11 @@ from __future__ import annotations
 import heapq
 import math
 import os
+import time as _time
 from bisect import insort
 from typing import Any, Callable, Iterable
+
+from repro import obs as _obs
 
 #: Index of the callback slot in a queue entry; ``None`` marks an entry
 #: that was cancelled (or already fired) and must not fire (again).
@@ -469,7 +472,35 @@ class Engine:
         Advances ``now`` to ``until`` at the end when a horizon is given,
         even if the queue drained earlier (unless ``max_events`` stopped
         the run first).
+
+        When :mod:`repro.obs` is armed, each call additionally records
+        one ``engine.run`` span plus aggregate counters (events popped
+        per scheduler kind, run wall-clock).  The accounting happens
+        once per *run*, not per event, so the inner loops above stay
+        untouched and a disarmed run pays one ``None`` test.
         """
+        reg = _obs.registry()
+        if reg is None:
+            self._run(until, max_events)
+            return
+        before = self.events_processed
+        start = _time.perf_counter()
+        try:
+            self._run(until, max_events)
+        finally:
+            duration = _time.perf_counter() - start
+            delta = self.events_processed - before
+            kind = "heap" if self._heap is not None else "bucket"
+            reg.incr("engine.runs")
+            reg.incr("engine.events." + kind, delta)
+            reg.observe("engine.run_seconds", duration)
+            tracer = _obs.tracer()
+            if tracer is not None:
+                tracer.add("engine.run", start, duration,
+                           kind=kind, events=delta)
+
+    def _run(self, until: float | None, max_events: int | None) -> None:
+        """The dispatch body of :meth:`run` (observation-free)."""
         if self._heap is not None and max_events is None:
             # Specialized heap loops for the two hot call shapes; the
             # shared general loop below covers everything else.

@@ -37,6 +37,12 @@ clears its plan cache on :meth:`Network.fail_link` /
 :meth:`Network.repair_link` so the cache cannot accumulate stale paths
 across fault churn.  Set ``REPRO_FASTPATH_DISABLE=1`` to force the
 reference loop; both paths produce bit-identical metrics.
+
+With :mod:`repro.obs` armed, the owning network counts plan compiles,
+cache hits, and fault invalidations (``fastpath.*`` counters); this
+module adds ``fastpath.size_products`` — the distinct per-packet-size
+coefficient sets stacked plans materialize — so a sweep that floods the
+per-size cache with unique packet sizes shows up in the run manifest.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro import obs as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.routing.base import Path
@@ -135,6 +143,9 @@ class StackedPlan:
             cached = self._by_size[size_bytes] = (
                 ser_s, latf_s, tuple(ser_s.tolist()), tuple(latf_s.tolist())
             )
+            reg = _obs.registry()
+            if reg is not None:  # miss path only — hits stay untouched
+                reg.incr("fastpath.size_products")
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -151,6 +151,11 @@ class FaultInjector:
             now, "cut", ring=ring, segment=segment,
             detail=f"severed {severed} channels, dropped {dropped} packets",
         )
+        o = self.network.obs
+        if o is not None:
+            o.incr("faults.cuts")
+            if severed:
+                o.incr("faults.channels_severed", severed)
         return dropped
 
     def apply_repair(self, ring: int, segment: int) -> int:
@@ -178,6 +183,11 @@ class FaultInjector:
             now, "repair", ring=ring, segment=segment,
             detail=f"restored {restored} channels",
         )
+        o = self.network.obs
+        if o is not None:
+            o.incr("faults.repairs")
+            if restored:
+                o.incr("faults.channels_restored", restored)
         return restored
 
     # -- introspection ----------------------------------------------------------------

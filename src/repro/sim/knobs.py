@@ -48,6 +48,16 @@ HYBRID_ENV = "REPRO_HYBRID_DISABLE"
 #: records the resolved knob without importing the parallel layer.
 PARALLEL_ENV = "REPRO_PARALLEL_DISABLE"
 
+#: Environment variable that arms the runtime observability layer
+#: (:mod:`repro.obs`): metrics registry, span tracer, and run manifests.
+#: Env-*enables*, like ``REPRO_TELEMETRY`` — observation is opt-in, and
+#: armed runs are required to stay fingerprint-identical to disarmed
+#: ones.  The canonical owner is ``repro.obs.OBS_ENV`` (that package
+#: must stay importable without touching ``repro.sim``); the literal is
+#: mirrored here — keeping this module import-free — and the obs test
+#: suite asserts the two stay equal.
+OBS_ENV = "REPRO_OBS"
+
 
 def env_truthy(env: str, environ: "Mapping[str, str] | None" = None) -> bool:
     """Whether environment variable ``env`` is set to a truthy value.

@@ -39,7 +39,8 @@ from repro.sim.fastpath import (
     compile_plan,
     stack_plan,
 )
-from repro.sim.knobs import HYBRID_ENV, PARALLEL_ENV, resolve_flag
+from repro import obs as _obs_layer
+from repro.sim.knobs import HYBRID_ENV, OBS_ENV, PARALLEL_ENV, resolve_flag
 from repro.sim.stats import FaultRecorder, LatencyRecorder
 from repro.sim.switch import SwitchModel, get_model
 from repro.telemetry.windows import TelemetryConfig, TelemetryHub, resolve_config
@@ -150,6 +151,7 @@ class Network:
         telemetry: "TelemetryConfig | bool | None" = None,
         hybrid: bool | None = None,
         parallel: bool | None = None,
+        obs: bool | None = None,
     ) -> None:
         """``buffer_bytes`` bounds each output port's queue: a packet
         arriving to a port whose backlog would exceed the buffer is
@@ -202,7 +204,16 @@ class Network:
         records the value in ``parallel_enabled``;
         :func:`repro.sim.parallel.run_parallel` consults it to decide
         whether a scenario shards across worker processes or falls back
-        to the serial reference execution."""
+        to the serial reference execution.
+
+        ``obs`` resolves the runtime-observability knob
+        (:mod:`repro.obs`): ``True`` arms the process-wide metrics
+        registry and span tracer and attaches the registry to this
+        network's instrumented paths; the default (``None``) follows
+        the ``REPRO_OBS`` environment variable (env-*enables*, like
+        telemetry); ``False`` detaches this network even when the
+        process is armed.  Observation is strictly one-way — armed runs
+        stay fingerprint-identical to disarmed runs."""
         if buffer_bytes is not None and buffer_bytes <= 0:
             raise NetworkSimError(f"buffer size must be positive, got {buffer_bytes}")
         self.topo = topo
@@ -292,6 +303,19 @@ class Network:
         )
         # Stacked (vectorized) twins of ``_plans``, same invalidation.
         self._stacked: dict[Path, StackedPlan] = {}
+        #: Resolved ``obs=`` knob (read-only after init).
+        self.obs_enabled = resolve_flag(obs, OBS_ENV, env_disables=False)
+        #: The metrics registry this network reports into, or ``None``
+        #: — same one-attribute-check dormant contract as telemetry.
+        if self.obs_enabled:
+            _obs_layer.arm()
+            self.obs = _obs_layer.registry()
+        elif obs is None:
+            # A process armed via obs.arm() (no env, no explicit knob)
+            # still observes networks built with the default.
+            self.obs = _obs_layer.registry()
+        else:
+            self.obs = None
 
     @property
     def fault_epoch(self) -> int:
@@ -335,7 +359,12 @@ class Network:
             on_delivered=on_delivered,
         )
         if self.fastpath_enabled:
-            packet.plan = self._plans.get(route) or self._compile_plan(route)
+            plan = self._plans.get(route)
+            if plan is None:
+                plan = self._compile_plan(route)
+            elif self.obs is not None:
+                self.obs.incr("fastpath.plan_hits")
+            packet.plan = plan
             self._transmit_fast(packet, earliest_start=self.engine.now)
         else:
             self._transmit(packet, earliest_start=self.engine.now)
@@ -355,6 +384,8 @@ class Network:
         self.packets_dropped_fault += 1
         if self.telemetry is not None:
             self.telemetry.on_unroutable()
+        if self.obs is not None:
+            self.obs.incr("drops.unroutable")
         if self._track_in_flight:
             self.fault_stats.record_drop(group, self.engine.now)
 
@@ -407,6 +438,10 @@ class Network:
             or self._track_in_flight
             or self.telemetry is not None
         ):
+            if self.obs is not None:
+                self.obs.incr(
+                    "batch.standdown." + self._batch_standdown_reason()
+                )
             return 0
         if size_bytes <= 0:
             raise NetworkSimError(f"packet size must be positive, got {size_bytes}")
@@ -422,10 +457,13 @@ class Network:
             raise NetworkSimError(f"path {route} does not join {src!r} → {dst!r}")
         if type(route) is not tuple:
             route = tuple(route)
+        o = self.obs
         stacked = self._stacked.get(route)
         if stacked is None:
             plan = self._plans.get(route) or self._compile_plan(route)
             stacked = self._stacked[route] = stack_plan(plan)
+        elif o is not None:
+            o.incr("fastpath.stacked_hits")
 
         peek = engine.peek_time()
         horizon = engine.run_horizon
@@ -449,6 +487,8 @@ class Network:
             if arrival > probe_max:
                 probe_max = arrival
         if probe_max >= peek or (horizon is not None and probe_max > horizon):
+            if o is not None:
+                o.incr("batch.standdown.lookahead")
             return 0
 
         tails_per_hop: list[np.ndarray] = []
@@ -484,7 +524,13 @@ class Network:
             if within < m:
                 m = within
         if m <= 0:
+            if o is not None:
+                o.incr("batch.standdown.no_safe_prefix")
             return 0
+        if o is not None:
+            o.incr("batch.cohorts")
+            o.incr("batch.packets", m)
+            o.observe("batch.cohort_size", m)
 
         self._next_packet_id += m
         for h in range(nhops):
@@ -589,10 +635,29 @@ class Network:
             earliest = now + latency
         self._transmit(packet, earliest_start=earliest)
 
+    def _batch_standdown_reason(self) -> str:
+        """Which condition forced :meth:`send_cohort` back to scalar sends.
+
+        Only called with observability armed, after the guard already
+        decided to stand down; re-tests the conditions in guard order so
+        the counter names the first (highest-priority) cause.
+        """
+        if not self.batch_enabled:
+            return "disabled"
+        if not self.engine.batching_ok:
+            return "bounded_run"
+        if self._dead_links:
+            return "dead_links"
+        if self._track_in_flight:
+            return "fault_tracking"
+        return "telemetry"
+
     # -- compiled fast path -----------------------------------------------------------
 
     def _compile_plan(self, route: Path) -> HopPlan:
         """Compile and cache the hop plan for one path."""
+        if self.obs is not None:
+            self.obs.incr("fastpath.plan_compiles")
         plan = compile_plan(self._link_rec, self._hop_rec, route)
         self._plans[route] = plan
         return plan
@@ -733,6 +798,11 @@ class Network:
         self.fault_stats.log(
             now, "link_down", link=(u, v), detail=f"dropped {dropped} in flight"
         )
+        if self.obs is not None:
+            self.obs.incr("faults.link_down")
+            self.obs.incr("fastpath.plan_invalidations")
+            if dropped:
+                self.obs.incr("faults.packets_severed", dropped)
         return dropped
 
     def repair_link(self, u: str, v: str) -> bool:
@@ -756,6 +826,9 @@ class Network:
         self._fault_epoch += 1
         self.router.invalidate_links([(u, v)], repaired=True)
         self.fault_stats.log(self.engine.now, "link_up", link=(u, v))
+        if self.obs is not None:
+            self.obs.incr("faults.link_up")
+            self.obs.incr("fastpath.plan_invalidations")
         return True
 
     def _reroute_or_drop(self, packet: Packet, earliest_start: float) -> None:

@@ -68,7 +68,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import repro.topology as T
+from repro import obs as _obs
 from repro.core.multiring import plan_rings
+from repro.obs.tracing import Span
 from repro.routing import ECMPRouter, KShortestPathsRouter, VLBRouter
 from repro.routing.base import Router
 from repro.runner.pool import PinnedPool
@@ -570,6 +572,9 @@ class StepReport:
     next_event: float
     busy_wall: float
     busy_cpu: float
+    #: Observability spans drained from the shard's tracer this window
+    #: (empty unless :mod:`repro.obs` is armed in the worker).
+    spans: list = field(default_factory=list)
 
 
 @dataclass
@@ -593,6 +598,10 @@ class ShardResult:
     drops_by_flow: tuple[tuple[str | None, int], ...]
     reroutes_by_flow: tuple[tuple[str | None, int], ...]
     now: float
+    #: Metrics-registry snapshot drained from the shard's process when
+    #: :mod:`repro.obs` is armed (``None`` otherwise); merged into the
+    #: coordinator's registry, never fingerprinted.
+    obs: dict | None = None
 
 
 def extract_result(
@@ -601,6 +610,7 @@ def extract_result(
     fault_event_count: int,
     owned: frozenset[str] | None = None,
     shard_index: int = 0,
+    obs_snapshot: dict | None = None,
 ) -> ShardResult:
     """Snapshot a finished network into a :class:`ShardResult`.
 
@@ -640,6 +650,7 @@ def extract_result(
         reroutes_by_flow=tuple(sorted(network.fault_stats.reroutes_by_flow.items(),
                                       key=lambda item: (item[0] is None, item[0]))),
         now=network.engine.now,
+        obs=obs_snapshot,
     )
 
 
@@ -680,20 +691,34 @@ class ShardRuntime:
         network.engine.run(until=until)
         busy_cpu = time.process_time() - cpu0
         busy_wall = time.perf_counter() - wall0
+        # Ship this window's spans home with the report; the spans carry
+        # this worker's pid, so the merged trace keeps one lane per
+        # shard.  The shard index becomes the Chrome trace tid.
+        tracer = _obs.tracer()
+        spans = tracer.drain() if tracer is not None else []
+        if spans and self.shard_index:
+            spans = [
+                Span(s.name, s.start, s.duration, s.pid,
+                     self.shard_index, s.args)
+                for s in spans
+            ]
         return StepReport(
             outbox=network.drain_outbox(self.scenario.duration),
             next_event=network.engine.peek_time(),
             busy_wall=busy_wall,
             busy_cpu=busy_cpu,
+            spans=spans,
         )
 
     def finish(self) -> ShardResult:
+        registry = _obs.registry()
         return extract_result(
             self.network,
             self.sources,
             self.fault_event_count,
             owned=self.network.owned,
             shard_index=self.shard_index,
+            obs_snapshot=registry.drain() if registry is not None else None,
         )
 
 
@@ -704,9 +729,16 @@ _RUNTIME: ShardRuntime | None = None
 
 
 def _worker_init_shard(
-    scenario: ParallelScenario, shard_index: int, num_shards: int
+    scenario: ParallelScenario,
+    shard_index: int,
+    num_shards: int,
+    arm_obs: bool = False,
 ) -> None:
     global _RUNTIME
+    if arm_obs:
+        # The coordinator is armed: arm this worker too, so shard-side
+        # metrics and spans exist to ship home at barriers/finish.
+        _obs.arm()
     _RUNTIME = ShardRuntime(scenario, shard_index, num_shards)
 
 
@@ -967,6 +999,8 @@ def run_parallel(
             "partition has no boundary links — nothing to coordinate"
         )
 
+    reg = _obs.registry()
+    tracer = _obs.tracer()
     pool: PinnedPool | None = None
     spin0 = time.perf_counter()
     if mode == "inline":
@@ -978,7 +1012,8 @@ def run_parallel(
             num_shards,
             initializer=_worker_init_shard,
             initargs_per_slot=[
-                (scenario, index, num_shards) for index in range(num_shards)
+                (scenario, index, num_shards, reg is not None)
+                for index in range(num_shards)
             ],
         )
         for future in pool.broadcast(_worker_ready):
@@ -1002,6 +1037,8 @@ def run_parallel(
             busy_wall[index] += report.busy_wall
             busy_cpu[index] += report.busy_cpu
             pending.extend(report.outbox)
+            if tracer is not None:
+                tracer.ingest(report.spans)
 
         while True:
             horizon = min(peeks)
@@ -1021,6 +1058,7 @@ def run_parallel(
                 inbox.sort(key=lambda m: (m.arrival, m.origin, m.seq))
             boundary_messages += len(pending)
             pending = []
+            window_start = time.perf_counter() if reg is not None else 0.0
             reports = _step_all(handles, until, inboxes)
             windows += 1
             for index, report in enumerate(reports):
@@ -1028,6 +1066,23 @@ def run_parallel(
                 busy_cpu[index] += report.busy_cpu
                 peeks[index] = report.next_event
                 pending.extend(report.outbox)
+            if reg is not None:
+                # One window = every shard stepped to `until`, then the
+                # barrier: the coordinator idled from the slowest
+                # shard's in-window work to the window's wall end.
+                window_wall = time.perf_counter() - window_start
+                slowest = max(report.busy_wall for report in reports)
+                stall = max(0.0, window_wall - slowest)
+                reg.incr("parallel.windows")
+                reg.observe("parallel.window_seconds", window_wall)
+                reg.observe("parallel.barrier_seconds", stall)
+                if tracer is not None:
+                    for report in reports:
+                        tracer.ingest(report.spans)
+                    tracer.add("parallel.window", window_start, window_wall,
+                               window=windows, until=until)
+                    tracer.add("parallel.barrier", window_start + slowest,
+                               stall, window=windows)
 
         # Land every shard exactly on the duration mark, mirroring the
         # serial run's final clock (no events remain at or before it).
@@ -1035,6 +1090,8 @@ def run_parallel(
         for index, report in enumerate(reports):
             busy_wall[index] += report.busy_wall
             busy_cpu[index] += report.busy_cpu
+            if tracer is not None:
+                tracer.ingest(report.spans)
         results = [future.result() for future in [h.finish() for h in handles]]
     finally:
         if pool is not None:
@@ -1043,6 +1100,16 @@ def run_parallel(
 
     compute = max(busy_cpu) if busy_cpu else 0.0
     barrier = max(0.0, wall - spinup - (max(busy_wall) if busy_wall else 0.0))
+    if reg is not None:
+        # Shard registries drained at finish() merge here, so a sweep
+        # over run_parallel aggregates exactly like run_cells workers.
+        for result in results:
+            if result.obs:
+                reg.merge(result.obs)
+        reg.incr("parallel.runs")
+        reg.incr("parallel.boundary_messages", boundary_messages)
+        reg.gauge("parallel.compute_seconds", compute)
+        reg.gauge("parallel.barrier_wall_seconds", barrier)
     return _merge_results(
         results,
         mode=f"parallel-{mode}",

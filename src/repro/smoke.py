@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import json
 import math
-import time
 from pathlib import Path
 from typing import Any
+
+from repro import obs as _obs
+from repro.obs.metrics import MetricsRegistry
 
 #: Default golden location, relative to the repository root.
 GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "benchmark_smoke.json"
@@ -175,16 +177,44 @@ def compute_telemetry_smoke_metrics(
     return metrics
 
 
-def runtime_metrics(elapsed_s: float) -> dict[str, Any]:
-    """The ``runtime.*`` keys for one smoke run (never compared)."""
+def timed_run(
+    telemetry: bool = False,
+    dump_windows_to: Path | str | None = None,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run the smoke cells under the metrics registry's clock.
+
+    Returns ``(metrics, runtime)``: the compared smoke metrics plus the
+    ``runtime.*`` trajectory keys (wall-clock from the registry's
+    ``smoke.run`` timer, cache hit rate/lookups from the artifact
+    cache).  This is the single timing source for both ``--check`` and
+    ``--update`` — there is no bespoke wall-clock plumbing elsewhere.
+
+    With :mod:`repro.obs` armed, the run's summary also folds into the
+    process-wide registry (and so into any run manifest written after).
+    """
     from repro.cache import artifact_cache
 
+    local = MetricsRegistry()
+    with local.timed("smoke.run"):
+        if telemetry:
+            metrics = compute_telemetry_smoke_metrics(
+                dump_windows_to=dump_windows_to
+            )
+        else:
+            metrics = compute_smoke_metrics()
     stats = artifact_cache().stats
-    return {
-        "runtime.wall_clock_s": elapsed_s,
-        "runtime.cache_hit_rate": stats.hit_rate,
-        "runtime.cache_lookups": stats.lookups,
+    local.gauge("smoke.cache_hit_rate", stats.hit_rate)
+    local.gauge("smoke.cache_lookups", stats.lookups)
+    snapshot = local.snapshot()
+    active = _obs.registry()
+    if active is not None:
+        active.merge(snapshot)
+    runtime = {
+        "runtime.wall_clock_s": snapshot["timers"]["smoke.run"]["total"],
+        "runtime.cache_hit_rate": snapshot["gauges"]["smoke.cache_hit_rate"],
+        "runtime.cache_lookups": snapshot["gauges"]["smoke.cache_lookups"],
     }
+    return metrics, runtime
 
 
 def compare_metrics(
@@ -220,18 +250,32 @@ def check(
     dump_windows_to: Path | str | None = None,
 ) -> list[str]:
     """Compare a fresh run against the golden; returns the drift list."""
+    problems, _ = check_with_runtime(
+        path, telemetry=telemetry, dump_windows_to=dump_windows_to
+    )
+    return problems
+
+
+def check_with_runtime(
+    path: Path = GOLDEN_PATH,
+    telemetry: bool = False,
+    dump_windows_to: Path | str | None = None,
+) -> tuple[list[str], dict[str, Any]]:
+    """:func:`check` plus the run's ``runtime.*`` keys for reporting."""
     if not path.exists():
         flag = " --telemetry" if telemetry else ""
-        return [
-            f"golden file {path} missing; run "
-            f"`python -m repro smoke --update{flag}`"
-        ]
+        return (
+            [
+                f"golden file {path} missing; run "
+                f"`python -m repro smoke --update{flag}`"
+            ],
+            {},
+        )
     golden = json.loads(path.read_text())
-    if telemetry:
-        current = compute_telemetry_smoke_metrics(dump_windows_to=dump_windows_to)
-    else:
-        current = compute_smoke_metrics()
-    return compare_metrics(golden, current)
+    current, runtime = timed_run(
+        telemetry=telemetry, dump_windows_to=dump_windows_to
+    )
+    return compare_metrics(golden, current), runtime
 
 
 def update(
@@ -245,12 +289,10 @@ def update(
     compared metrics stay exactly :func:`compute_smoke_metrics` (or its
     telemetry variant).
     """
-    start = time.perf_counter()
-    if telemetry:
-        metrics = compute_telemetry_smoke_metrics(dump_windows_to=dump_windows_to)
-    else:
-        metrics = compute_smoke_metrics()
-    metrics = {**metrics, **runtime_metrics(time.perf_counter() - start)}
+    metrics, runtime = timed_run(
+        telemetry=telemetry, dump_windows_to=dump_windows_to
+    )
+    metrics = {**metrics, **runtime}
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
     return metrics

@@ -6,7 +6,8 @@ show, so a regenerated figure *looks like* a figure:
 
 * :func:`line_chart` — multi-series X/Y chart with per-series markers
   (Figures 14, 17, 18, 20 shapes);
-* :func:`bar_chart` — grouped horizontal bars (Figure 10).
+* :func:`bar_chart` — grouped horizontal bars (Figure 10);
+* :func:`sparkline` — one-line trend strip (``repro trajectory``).
 """
 
 from __future__ import annotations
@@ -117,6 +118,28 @@ def bar_chart(
         bar = "#" * max(0, round(value / peak * width))
         lines.append(f"{label.ljust(label_width)} |{bar} {fmt.format(value)}")
     return "\n".join(lines)
+
+
+#: ASCII-only intensity ramp for :func:`sparkline`, low to high.
+SPARK_LEVELS = "_.:-=+*#%@"
+
+
+def sparkline(values: list[float], levels: str = SPARK_LEVELS) -> str:
+    """One character per value, mapped onto the ``levels`` ramp.
+
+    A constant series renders as the middle level repeated — visibly
+    flat rather than pinned to either extreme.
+    """
+    if not values:
+        raise ChartError("need at least one value")
+    if len(levels) < 2:
+        raise ChartError("need at least two ramp levels")
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return levels[len(levels) // 2] * len(values)
+    top = len(levels) - 1
+    return "".join(levels[int((v - lo) / span * top)] for v in values)
 
 
 def sweep_to_series(sweep: dict[str, list], y_scale: float = 1e6) -> list[Series]:

@@ -1,0 +1,124 @@
+"""MetricsRegistry: recording, snapshots, and cross-worker merging."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.incr("events")
+        reg.incr("events", 4)
+        reg.incr("cohorts", 2.5)
+        assert reg.counters == {"events": 5, "cohorts": 2.5}
+
+    def test_gauges_last_writer_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("compute_seconds", 1.0)
+        reg.gauge("compute_seconds", 2.0)
+        assert reg.gauges == {"compute_seconds": 2.0}
+
+    def test_observe_folds_count_total_max(self):
+        reg = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            reg.observe("cohort_size", value)
+        snap = reg.snapshot()
+        assert snap["timers"]["cohort_size"] == {
+            "count": 3, "total": 6.0, "max": 3.0,
+        }
+
+    def test_timed_records_positive_duration(self):
+        reg = MetricsRegistry()
+        with reg.timed("block"):
+            sum(range(1000))
+        timer = reg.snapshot()["timers"]["block"]
+        assert timer["count"] == 1
+        assert timer["total"] > 0.0
+        assert timer["max"] == timer["total"]
+
+    def test_timed_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timed("block"):
+                raise RuntimeError("boom")
+        assert reg.snapshot()["timers"]["block"]["count"] == 1
+
+    def test_len_counts_all_instruments(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        reg.incr("a")
+        reg.gauge("b", 1.0)
+        reg.observe("c", 1.0)
+        assert len(reg) == 3
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_able_and_detached(self):
+        reg = MetricsRegistry()
+        reg.incr("a", 2)
+        reg.observe("t", 0.5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        reg.incr("a", 10)
+        assert snap["counters"]["a"] == 2  # copy, not a view
+
+    def test_drain_clears_but_stays_usable(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        snap = reg.drain()
+        assert snap["counters"] == {"a": 1}
+        assert len(reg) == 0
+        reg.incr("a")
+        assert reg.counters["a"] == 1
+
+    def test_merge_snapshot_dict(self):
+        parent = MetricsRegistry()
+        parent.incr("events", 10)
+        parent.observe("cell_seconds", 1.0)
+        worker = MetricsRegistry()
+        worker.incr("events", 5)
+        worker.incr("cohorts", 1)
+        worker.observe("cell_seconds", 3.0)
+        worker.gauge("hit_rate", 0.5)
+        parent.merge(worker.drain())
+        snap = parent.snapshot()
+        assert snap["counters"] == {"events": 15, "cohorts": 1}
+        assert snap["gauges"] == {"hit_rate": 0.5}
+        assert snap["timers"]["cell_seconds"] == {
+            "count": 2, "total": 4.0, "max": 3.0,
+        }
+
+    def test_merge_registry_directly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.incr("x")
+        b.incr("x", 2)
+        a.merge(b)
+        assert a.counters["x"] == 3
+
+    def test_merge_commutative_over_counters_and_timers(self):
+        def worker(seed):
+            reg = MetricsRegistry()
+            reg.incr("n", seed)
+            reg.observe("t", float(seed))
+            return reg.snapshot()
+
+        snaps = [worker(s) for s in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        fwd, bwd = forward.snapshot(), backward.snapshot()
+        assert fwd["counters"] == bwd["counters"]
+        assert fwd["timers"] == bwd["timers"]
+
+    def test_merge_into_empty_registry(self):
+        reg = MetricsRegistry()
+        reg.merge({"counters": {"a": 1}, "timers": {"t": {
+            "count": 2, "total": 5.0, "max": 4.0}}})
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["timers"]["t"] == {"count": 2, "total": 5.0, "max": 4.0}

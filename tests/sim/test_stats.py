@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.stats import LatencyRecorder, summarize_latencies
+from repro.sim.stats import (
+    UNGROUPED,
+    HopStampStats,
+    LatencyRecorder,
+    summarize_latencies,
+)
 
 
 class TestSummarize:
@@ -67,3 +72,66 @@ class TestRecorder:
         rec.clear()
         assert rec.count == 0
         assert rec.groups() == []
+
+    def test_record_many_matches_per_packet_records(self):
+        bulk, loop = LatencyRecorder(), LatencyRecorder()
+        samples = [3.0, 1.0, 2.0]
+        bulk.record_many(samples, group="a")
+        for sample in samples:
+            loop.record(sample, group="a")
+        assert bulk.samples == loop.samples
+        assert bulk.by_group == loop.by_group
+
+    def test_record_many_rejects_any_negative(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.record_many([1.0, -0.5, 2.0])
+
+    def test_record_many_empty_records_no_samples(self):
+        rec = LatencyRecorder()
+        rec.record_many([], group="a")
+        assert rec.count == 0
+        # Documented quirk: unlike zero record() calls, an empty bulk
+        # commit still registers the group key (setdefault) — empty.
+        assert rec.groups() == ["a"]
+        assert rec.by_group["a"] == []
+
+
+class TestHopStamps:
+    def test_empty_stamp_list_creates_flow_without_nodes(self):
+        rec = LatencyRecorder()
+        rec.record_stamps("flow", [])
+        assert rec.hop_stamps == {"flow": {}}
+
+    def test_stamps_fold_into_sum_and_max(self):
+        rec = LatencyRecorder()
+        rec.record_stamps("f", [("tor0", 2, 1e-6), ("tor1", 0, 0.0)])
+        rec.record_stamps("f", [("tor0", 4, 5e-7)])
+        tor0 = rec.hop_stamps["f"]["tor0"]
+        assert tor0.packets == 2
+        assert tor0.depth_sum == 6
+        assert tor0.depth_max == 4
+        assert tor0.wait_sum == pytest.approx(1.5e-6)
+        assert tor0.wait_max == pytest.approx(1e-6)
+        assert tor0.mean_depth == pytest.approx(3.0)
+        assert tor0.mean_wait == pytest.approx(7.5e-7)
+        assert rec.hop_stamps["f"]["tor1"].packets == 1
+
+    def test_groupless_packets_share_the_ungrouped_flow(self):
+        rec = LatencyRecorder()
+        rec.record_stamps(None, [("tor0", 1, 0.0)])
+        rec.record_stamps(None, [("tor0", 3, 0.0)])
+        rec.record_stamps("named", [("tor0", 9, 0.0)])
+        assert rec.hop_stamps[UNGROUPED]["tor0"].packets == 2
+        assert rec.hop_stamps["named"]["tor0"].depth_max == 9
+
+    def test_zero_packet_stats_have_zero_means(self):
+        empty = HopStampStats()
+        assert empty.mean_depth == 0.0
+        assert empty.mean_wait == 0.0
+
+    def test_clear_drops_hop_stamps(self):
+        rec = LatencyRecorder()
+        rec.record_stamps("f", [("tor0", 1, 0.0)])
+        rec.clear()
+        assert rec.hop_stamps == {}

@@ -180,6 +180,115 @@ class TestSmokeCommand:
         assert "wall-clock" in out and "cache hit-rate" in out
 
 
+class TestManifestOption:
+    def test_smoke_update_writes_valid_manifest(self, tmp_path, capsys):
+        from repro.obs.report import validate_manifest
+
+        golden = str(tmp_path / "golden.json")
+        manifest = tmp_path / "manifest.json"
+        assert main(
+            ["smoke", "--update", "--golden", golden,
+             "--manifest", str(manifest)]
+        ) == 0
+        assert "run manifest written" in capsys.readouterr().out
+        doc = json.loads(manifest.read_text())
+        assert validate_manifest(doc) == []
+        assert doc["extra"]["command"] == "smoke"
+        assert "runtime.wall_clock_s" in doc["extra"]
+
+    def test_experiment_manifest_records_figure(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        assert main(
+            ["experiment", "--figure", "10", "--manifest", str(manifest)]
+        ) == 0
+        doc = json.loads(manifest.read_text())
+        assert doc["extra"] == {"command": "experiment", "figure": "10"}
+        assert doc["seeds"] == [0]
+
+
+class TestTraceCommand:
+    def test_writes_chrome_trace_spanning_all_subsystems(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(out), "--workers", "1"]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace written" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        assert {"engine.run", "sweep.cell", "hybrid.epoch",
+                "parallel.window", "parallel.barrier"} <= names
+        labels = {
+            ev["args"]["name"] for ev in doc["traceEvents"]
+            if ev["ph"] == "M"
+        }
+        assert "coordinator" in labels
+
+    def test_rejects_nonpositive_workers(self, tmp_path, capsys):
+        assert main(
+            ["trace", "--out", str(tmp_path / "t.json"), "--workers", "0"]
+        ) == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_renders_fresh_manifest_without_path(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("run manifest (repro.obs.manifest/v1)")
+
+    def test_renders_manifest_file_and_json_mode(self, tmp_path, capsys):
+        from repro.obs.report import write_manifest
+
+        path = tmp_path / "m.json"
+        write_manifest(path, seeds=[7])
+        assert main(["report", str(path)]) == 0
+        assert "seeds     [7]" in capsys.readouterr().out
+        assert main(["report", str(path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["seeds"] == [7]
+
+    def test_invalid_manifest_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "bogus/v9"}))
+        assert main(["report", str(bad)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "no.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestTrajectoryCommand:
+    def _write_rows(self, path):
+        rows = [
+            {"commit": "aaaaaaaa" * 5, "recorded_at": "2026-01-01T00:00:00",
+             "metrics": {"engine_events_per_sec_batched": 1_000_000}},
+            {"commit": "bbbbbbbb" * 5, "recorded_at": "2026-02-01T00:00:00",
+             "metrics": {"engine_events_per_sec_batched": 1_500_000}},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+
+    def test_sparkline_and_change_printed(self, tmp_path, capsys):
+        log = tmp_path / "trajectory.jsonl"
+        self._write_rows(log)
+        assert main(["trajectory", "--file", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "engine_events_per_sec_batched" in out
+        assert "+50.0%" in out
+        assert "aaaaaaa" in out and "bbbbbbb" in out
+
+    def test_unknown_metric_lists_known_keys(self, tmp_path, capsys):
+        log = tmp_path / "trajectory.jsonl"
+        self._write_rows(log)
+        assert main(
+            ["trajectory", "--file", str(log), "--metric", "nope"]
+        ) == 2
+        assert "engine_events_per_sec_batched" in capsys.readouterr().err
+
+    def test_missing_file_hints_at_make_target(self, tmp_path, capsys):
+        assert main(["trajectory", "--file", str(tmp_path / "no.jsonl")]) == 2
+        assert "bench-trajectory" in capsys.readouterr().err
+
+
 class TestFaultRecoveryParser:
     def test_figure_choice_and_options_parse(self):
         from repro.cli import build_parser

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.textplot import ChartError, Series, bar_chart, line_chart, sweep_to_series
+from repro.textplot import (
+    SPARK_LEVELS,
+    ChartError,
+    Series,
+    bar_chart,
+    line_chart,
+    sparkline,
+    sweep_to_series,
+)
 
 
 class TestLineChart:
@@ -69,6 +77,33 @@ class TestBarChart:
     def test_nonpositive_rejected(self):
         with pytest.raises(ChartError):
             bar_chart({"a": 0.0})
+
+
+class TestSparkline:
+    def test_min_and_max_map_to_extreme_levels(self):
+        line = sparkline([0.0, 10.0])
+        assert line == SPARK_LEVELS[0] + SPARK_LEVELS[-1]
+
+    def test_intermediate_values_rank_monotonically(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        ranks = [SPARK_LEVELS.index(ch) for ch in line]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 0 and ranks[-1] == len(SPARK_LEVELS) - 1
+
+    def test_constant_series_uses_middle_level(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert line == SPARK_LEVELS[len(SPARK_LEVELS) // 2] * 3
+
+    def test_custom_levels(self):
+        assert sparkline([0, 1, 2], levels=".#") == "..#"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChartError):
+            sparkline([])
+
+    def test_single_char_levels_rejected(self):
+        with pytest.raises(ChartError):
+            sparkline([1.0, 2.0], levels="#")
 
 
 class TestSweepAdapter:
